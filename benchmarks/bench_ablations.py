@@ -1,0 +1,20 @@
+"""E15: ablations of the construction's design choices."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e15_ablations(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E15", quick_mode, bench_seed)
+    cols = record.columns
+    variant_i = cols.index("variant")
+    r_i = cols.index("r(n)")
+    v_i = cols.index("verified")
+    rows = {row[variant_i]: row for row in record.rows}
+    for row in record.rows:
+        assert row[v_i], f"ablation variant invalid: {row}"
+    # the full pipeline reinforces no more than either single-phase variant
+    assert rows["full"][r_i] <= rows["no-S1 (S2 on all pairs)"][r_i]
+    assert rows["full"][r_i] <= rows["no-S2 (S1 only)"][r_i]
+    # dispatch equivalence at eps >= 1/2: both reinforce nothing
+    assert rows["force-main @ eps=0.6"][r_i] == 0
+    assert rows["[14] dispatch @ eps=0.6"][r_i] == 0

@@ -1,0 +1,18 @@
+"""E11: the Section 1 motivating figure - bridge-to-clique economics."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e11_clique_bridge(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E11", quick_mode, bench_seed)
+    cols = record.columns
+    design_i = cols.index("design")
+    loss_i = cols.index("worst_loss")
+    cost_i = cols.index("cost(R/B=10)")
+    by_design = {}
+    for row in record.rows:
+        by_design.setdefault(row[design_i].split(" ")[0], []).append(row)
+    for conservative, mixed in zip(by_design["all-backup"], by_design["mixed"]):
+        assert conservative[loss_i] > 0, "conservative design must lose vertices"
+        assert mixed[loss_i] == 0, "mixed design must lose nothing"
+        assert mixed[cost_i] < conservative[cost_i] / 2

@@ -1,0 +1,25 @@
+"""E5: the Section 1 cost interpretation.
+
+Sweeps the cost ratio R/B and compares the measured cost-minimizing
+epsilon against the theory value ``log(R/B) / (2 log n)``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e5_cost_optimal_epsilon(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E5", quick_mode, bench_seed)
+    cols = record.columns
+    ratio_i = cols.index("R/B")
+    measured_i = cols.index("eps_measured")
+    cost_i = cols.index("cost_measured")
+    backup_i = cols.index("cost_all_backup")
+    reinf_i = cols.index("cost_all_reinforced")
+    rows = sorted(record.rows, key=lambda r: r[ratio_i])
+    # The measured optimum never loses to either pure strategy.
+    for row in rows:
+        assert row[cost_i] <= row[backup_i] + 1e-9
+        assert row[cost_i] <= row[reinf_i] + 1e-9
+    # And it moves weakly toward backup-heavy designs as R/B grows.
+    measured = [row[measured_i] for row in rows]
+    assert measured == sorted(measured), measured

@@ -1,0 +1,21 @@
+"""E8: Figure 3 + Facts 3.3/4.1 - decomposition invariants as a table."""
+
+import math
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e8_decomposition_invariants(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E8", quick_mode, bench_seed)
+    cols = record.columns
+    n_i = cols.index("n")
+    glue_i = cols.index("max_glue_on_rootpath")
+    paths_i = cols.index("max_paths_on_rootpath")
+    segs_i = cols.index("max_segments")
+    levels_i = cols.index("levels")
+    for row in record.rows:
+        log_n = math.log2(row[n_i])
+        assert row[glue_i] <= log_n + 1, row
+        assert row[paths_i] <= log_n + 1, row
+        assert row[segs_i] <= log_n + 1, row
+        assert row[levels_i] <= log_n + 1, row

@@ -1,0 +1,12 @@
+"""E6: the [14] endpoint - FT-BFS size ~ n^(3/2) on the gadget family."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e6_ftbfs13_scaling(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E6", quick_mode, bench_seed)
+    exp = record.derived["exponent"]
+    assert 1.25 <= exp <= 1.75, f"size exponent {exp} far from 3/2"
+    cols = record.columns
+    v_i = cols.index("verified")
+    assert all(row[v_i] for row in record.rows)

@@ -1,0 +1,22 @@
+"""E7: Figures 1 and 2 as numbers - the interference census.
+
+Counts (~)- vs (!~)-interference among detour pairs, pi-intersections,
+and the resulting I1/I2 and A/B/C splits the construction works with.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e7_interference_census(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E7", quick_mode, bench_seed)
+    cols = record.columns
+    up_i = cols.index("|UP|")
+    pairs_i = cols.index("pairs_interf")
+    sim_i = cols.index("(~)")
+    nonsim_i = cols.index("(!~)")
+    i1_i, i2_i = cols.index("|I1|"), cols.index("|I2|")
+    a_i, b_i, c_i = cols.index("typeA"), cols.index("typeB"), cols.index("typeC")
+    for row in record.rows:
+        assert row[pairs_i] == row[sim_i] + row[nonsim_i]
+        assert row[i1_i] + row[i2_i] == row[up_i]
+        assert row[a_i] + row[b_i] + row[c_i] == row[i1_i]

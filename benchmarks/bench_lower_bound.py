@@ -1,0 +1,23 @@
+"""E3: Theorem 5.1 - the single-source lower-bound gadget (Fig. 10).
+
+Regenerates the certified forced-backup sizes on ``G_eps`` and fits the
+growth exponent against the paper's ``Omega(n^(1+eps))``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e3_single_source_lower_bound(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E3", quick_mode, bench_seed)
+    # The certified bound must never exceed what the algorithm built
+    # (the algorithm's structure is one valid structure).
+    cols = record.columns
+    cert_i = cols.index("certified_b")
+    alg_i = cols.index("alg_b(n)")
+    for row in record.rows:
+        if isinstance(row[alg_i], int):
+            assert row[cert_i] <= row[alg_i], row
+    # Exponent shape: within a reasonable band of 1 + eps.
+    for key, value in record.derived.items():
+        eps = float(key.rsplit("_", 1)[1])
+        assert abs(value - (1 + eps)) < 0.45, (key, value)

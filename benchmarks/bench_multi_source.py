@@ -1,0 +1,21 @@
+"""E4: Theorem 5.4 - the multi-source lower-bound gadget.
+
+Regenerates certified forced-backup sizes on ``G_{eps,K}`` over both
+``n`` and ``K`` and checks linear scaling against
+``K^(1-eps) * n^(1+eps)``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e4_multi_source_lower_bound(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E4", quick_mode, bench_seed)
+    cols = record.columns
+    cert_i = cols.index("certified_b")
+    ref_i = cols.index("K^(1-eps)*n^(1+eps)")
+    for row in record.rows:
+        assert row[cert_i] > 0
+        assert row[cert_i] <= row[ref_i], "certified bound cannot beat the reference"
+    exp = record.derived.get("reference_exponent")
+    if exp is not None:
+        assert 0.6 < exp < 1.4, exp

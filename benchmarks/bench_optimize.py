@@ -1,0 +1,15 @@
+"""E12: the Discussion's optimization viewpoint - greedy ablation."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e12_greedy_ablation(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E12", quick_mode, bench_seed)
+    cols = record.columns
+    greedy_i = cols.index("greedy_b")
+    universal_i = cols.index("universal_b")
+    verified_i = cols.index("greedy_verified")
+    for row in record.rows:
+        assert row[verified_i]
+        # with at least the universal budget, greedy never does worse
+        assert row[greedy_i] <= row[universal_i], row

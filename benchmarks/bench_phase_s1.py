@@ -1,0 +1,14 @@
+"""E10: Figures 5/6 + Lemma 4.10 - Phase S1 iteration accounting."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e10_phase_s1_iterations(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E10", quick_mode, bench_seed)
+    cols = record.columns
+    k_i = cols.index("K_bound")
+    it_i = cols.index("iterations")
+    within_i = cols.index("within_bound")
+    for row in record.rows:
+        assert row[within_i], f"Lemma 4.10 bound violated: {row}"
+        assert row[it_i] <= row[k_i]

@@ -1,0 +1,12 @@
+"""E9: Figures 4/7/8/9 - Phase S2 internals and the r(n) accounting."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e9_phase_s2_internals(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E9", quick_mode, bench_seed)
+    cols = record.columns
+    r_i = cols.index("r(n)")
+    bound_i = cols.index("r_bound")
+    for row in record.rows:
+        assert row[r_i] <= 4 * max(row[bound_i], 1), row

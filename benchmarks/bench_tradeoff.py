@@ -1,0 +1,37 @@
+"""E1 + E2: the headline Theorem 3.1 tradeoff table and its endpoints.
+
+Regenerates (as measured tables) the paper's central claim:
+``r(n) = O~(n^(1-eps))`` against ``b(n) = O~(min{n^(1+eps), n^(3/2)})``,
+and the two degenerate endpoints described in Section 1.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_e1_tradeoff_sweep(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E1", quick_mode, bench_seed)
+    cols = record.columns
+    b_ok = cols.index("b_ok")
+    r_ok = cols.index("r_ok")
+    verified = cols.index("verified")
+    for row in record.rows:
+        assert row[verified], f"structure failed verification: {row}"
+        assert row[b_ok], f"backup bound violated: {row}"
+        assert row[r_ok], f"reinforcement bound violated: {row}"
+
+
+def test_e2_endpoints(benchmark, quick_mode, bench_seed):
+    record = run_and_report(benchmark, "E2", quick_mode, bench_seed)
+    cols = record.columns
+    eps_i, b_i, r_i, v_i = (
+        cols.index("eps"),
+        cols.index("b(n)"),
+        cols.index("r(n)"),
+        cols.index("verified"),
+    )
+    for row in record.rows:
+        assert row[v_i]
+        if row[eps_i] == 0.0:
+            assert row[b_i] == 0, "eps=0 must need no backup"
+        if row[eps_i] == 1.0:
+            assert row[r_i] == 0, "eps=1 must need no reinforcement"

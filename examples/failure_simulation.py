@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Live failure replay: the guarantee as an operator would measure it.
+
+Generates an adversarial failure trace (every event hits a BFS-tree
+link - the only ones that can hurt) and replays it against three
+deployments: the bare BFS tree, a budget design, and the full FT-BFS
+structure.  The theorems predict the last row exactly: zero violations.
+
+    python examples/failure_simulation.py
+"""
+
+from repro.core import build_ftbfs13, run_pcons
+from repro.graphs import connected_gnp_graph
+from repro.simulate import adversarial_trace, simulate_structure, simulate_trace
+from repro.util.tables import Table
+
+
+def main() -> None:
+    network = connected_gnp_graph(120, 0.06, seed=21)
+    source = 0
+    pcons = run_pcons(network, source)
+    tree_edges = pcons.tree.tree_edges()
+    trace = adversarial_trace(network, tree_edges, 200, seed=5)
+    print(f"network: {network}")
+    print(f"trace  : {len(trace)} adversarial single-link failures\n")
+
+    table = Table(
+        "deployment comparison under the same failure trace",
+        ["deployment", "edges", "violations", "availability", "worst event"],
+    )
+
+    # 1. bare BFS tree: no protection at all.
+    report = simulate_trace(network, source, tree_edges, trace)
+    worst = report.worst_event
+    table.add_row(
+        "bare BFS tree", len(tree_edges), report.violations,
+        f"{100 * report.availability:.1f}%",
+        f"{worst.lost_vertices} lost" if worst else "-",
+    )
+
+    # 2. a partial rollout: tree + half of the required backup edges.
+    full = build_ftbfs13(network, source, pcons=pcons)
+    backup = sorted(full.edges - full.tree_edges)
+    partial = set(tree_edges) | set(backup[: len(backup) // 2])
+    report = simulate_trace(network, source, partial, trace)
+    worst = report.worst_event
+    table.add_row(
+        "partial rollout (50% backup)", len(partial), report.violations,
+        f"{100 * report.availability:.1f}%",
+        f"{worst.lost_vertices} lost, +{worst.total_extra_hops} hops" if worst else "-",
+    )
+
+    # 3. the full FT-BFS structure: the paper's guarantee.
+    report = simulate_structure(full, trace)
+    table.add_row(
+        "FT-BFS ([14], eps=1)", full.num_edges, report.violations,
+        f"{100 * report.availability:.1f}%", "-",
+    )
+
+    print(table.render())
+    print("\nthe FT-BFS row is the theorem: zero violations, by construction.")
+
+
+if __name__ == "__main__":
+    main()

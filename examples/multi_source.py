@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Multi-source FT-MBFS: protecting several gateways at once (Section 5).
+
+A content network has several ingress gateways; each needs its own
+post-failure distance guarantee.  The union construction builds one
+shared structure; the per-source overlap makes it much cheaper than
+disjoint per-gateway deployments.
+
+    python examples/multi_source.py
+"""
+
+from repro.core import build_ft_mbfs, verify_subgraph
+from repro.graphs import barabasi_albert_graph
+
+
+def main() -> None:
+    network = barabasi_albert_graph(160, 3, seed=11)
+    gateways = [0, 40, 80, 120]
+    eps = 0.3
+    print(f"network: {network}; gateways: {gateways}")
+
+    mbfs = build_ft_mbfs(network, gateways, eps)
+    print(f"\n{mbfs.summary()}")
+
+    separate_total = sum(s.num_edges for s in mbfs.per_source.values())
+    print(f"  union structure edges : {mbfs.num_edges}")
+    print(f"  sum of per-source     : {separate_total} "
+          f"({100 * (1 - mbfs.num_edges / separate_total):.1f}% saved by sharing)")
+
+    for gateway in gateways:
+        report = verify_subgraph(
+            network, gateway, mbfs.edges, mbfs.reinforced
+        )
+        per = mbfs.per_source[gateway]
+        print(
+            f"  gateway {gateway:>3}: verified={report.ok} "
+            f"(own structure: {per.num_edges} edges, "
+            f"{per.num_reinforced} reinforced)"
+        )
+
+
+if __name__ == "__main__":
+    main()

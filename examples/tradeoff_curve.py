@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The reinforcement-backup tradeoff curve (Theorem 3.1, empirically).
+
+Sweeps eps over [0, 1] on an instance where reinforcement genuinely
+matters (the paper's deep-path gadget) and prints the (r, b) curve with
+the theoretical envelopes.
+
+    python examples/tradeoff_curve.py
+"""
+
+import math
+
+from repro.core import build_epsilon_ftbfs, run_pcons, verify_structure
+from repro.lower_bounds import build_theorem51
+from repro.util.tables import Table
+
+
+def main() -> None:
+    # Deep paths + wide bipartite blocks: the regime where the paper's
+    # S1/S2 machinery actually leaves edges to reinforce.
+    gadget = build_theorem51(700, 0.2, d=22, k=2, x_size=5)
+    graph, source = gadget.graph, gadget.source
+    n = graph.num_vertices
+    print(f"instance: {graph}")
+
+    pcons = run_pcons(graph, source)  # shared across the sweep
+
+    table = Table(
+        f"reinforcement-backup tradeoff (n={n})",
+        ["eps", "b(n)", "r(n)", "bound b", "bound r", "ok"],
+    )
+    for i in range(11):
+        eps = i / 10
+        s = build_epsilon_ftbfs(graph, source, eps, pcons=pcons)
+        ok = verify_structure(s).ok
+        if eps == 0:
+            bb, br = 0.0, float(n - 1)
+        else:
+            bb = min((1 / eps) * n ** (1 + eps) * math.log2(n), n**1.5)
+            br = 0.0 if eps >= 0.5 else (1 / eps) * n ** (1 - eps) * math.log2(n)
+        table.add_row(eps, s.num_backup, s.num_reinforced, round(bb), round(br), ok)
+    table.add_note("bounds: Theorem 3.1 (b <= min{1/eps n^(1+eps) log n, n^1.5})")
+    print(table.render())
+
+    # ASCII sketch of the curve: r on the left axis, b as the bar.
+    print("\n  eps   r(n)  | backup edges")
+    sweep = [
+        build_epsilon_ftbfs(graph, source, i / 10, pcons=pcons) for i in range(11)
+    ]
+    peak = max(s.num_backup for s in sweep) or 1
+    for i, s in enumerate(sweep):
+        bar = "#" * max(1, round(40 * s.num_backup / peak)) if s.num_backup else ""
+        print(f"  {i/10:<5} {s.num_reinforced:<5} | {bar} {s.num_backup}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fault Tolerant BFS structures with a reinforcement-backup tradeoff "
+        "(Parter & Peleg, SPAA 2015) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``list``
+    List experiments and workloads.
+``run E1 [E2 ...]`` (or ``run all``)
+    Run experiments and print their tables (``--quick`` for small sweeps,
+    ``--save`` to write artifacts).
+``build``
+    Build a structure for a named workload and report its sizes.
+``quickstart``
+    A tiny end-to-end demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.core import build_epsilon_ftbfs, verify_structure
+from repro.harness import (
+    experiment_ids,
+    run_experiment,
+    save_record,
+    workload,
+    workload_names,
+)
+from repro.util.timing import format_seconds
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Fault Tolerant BFS structures: a reinforcement-backup tradeoff "
+            "(Parter & Peleg, SPAA 2015) - reproduction toolkit"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E3, or 'all'")
+    run_p.add_argument("--quick", action="store_true", help="small sweeps")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--save", action="store_true", help="write bench_artifacts/")
+
+    build_p = sub.add_parser("build", help="build one structure and report")
+    build_p.add_argument("--workload", default="gnp", choices=workload_names())
+    build_p.add_argument("--n", type=int, default=200)
+    build_p.add_argument("--epsilon", type=float, default=0.3)
+    build_p.add_argument("--seed", type=int, default=0)
+    build_p.add_argument("--no-verify", action="store_true")
+
+    sub.add_parser("quickstart", help="tiny end-to-end demo")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for eid in experiment_ids():
+        print(f"  {eid}")
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(ids: Sequence[str], quick: bool, seed: int, save: bool) -> int:
+    requested: List[str] = []
+    for eid in ids:
+        if eid.lower() == "all":
+            requested = experiment_ids()
+            break
+        requested.append(eid.upper())
+    status = 0
+    for eid in requested:
+        record = run_experiment(eid, quick=quick, seed=seed)
+        print(record.render())
+        print(f"  (elapsed {format_seconds(record.elapsed_seconds)})\n")
+        if save:
+            path = save_record(record)
+            print(f"  saved -> {path}\n")
+    return status
+
+
+def _cmd_build(name: str, n: int, epsilon: float, seed: int, no_verify: bool) -> int:
+    graph, source = workload(name, n=n, seed=seed)
+    structure = build_epsilon_ftbfs(graph, source, epsilon)
+    print(structure.summary())
+    for key, value in structure.stats.as_dict().items():
+        print(f"  {key}: {value}")
+    if not no_verify:
+        report = verify_structure(structure)
+        print(f"verified: {report.ok} ({report.checked_failures} failure cases)")
+        return 0 if report.ok else 1
+    return 0
+
+
+def _cmd_quickstart() -> int:
+    from repro.graphs import connected_gnp_graph
+
+    graph = connected_gnp_graph(80, 0.1, seed=42)
+    print(f"graph: {graph}")
+    for eps in (0.0, 0.25, 0.5, 1.0):
+        structure = build_epsilon_ftbfs(graph, 0, eps)
+        ok = verify_structure(structure).ok
+        print(f"  eps={eps:<5} b={structure.num_backup:<5} "
+              f"r={structure.num_reinforced:<5} verified={ok}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids, args.quick, args.seed, args.save)
+    if args.command == "build":
+        return _cmd_build(args.workload, args.n, args.epsilon, args.seed, args.no_verify)
+    if args.command == "quickstart":
+        return _cmd_quickstart()
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The ESA'13 baseline: FT-BFS structures with no reinforcement ([14]).
+
+Parter-Peleg (ESA 2013) show that ``T0`` plus the last edges of all
+(new-ending) replacement paths is an FT-BFS structure of size
+``O(n^{3/2})`` - and that this is tight.  This is the ``eps = 1``
+endpoint of the tradeoff, used by Theorem 3.1 for the whole regime
+``eps >= 1/2``, and the baseline every benchmark compares against.
+
+Correctness follows from Observation 2.2: with every pair last-protected
+(covered pairs end in a ``T0`` edge, uncovered pairs' last edges are all
+added), every fault-prone edge is protected, so ``E' = {}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro._types import Vertex
+from repro.graphs.graph import Graph
+from repro.core.pcons import PconsResult, run_pcons
+from repro.core.structure import ConstructStats, FTBFSStructure
+
+__all__ = ["build_ftbfs13"]
+
+
+def build_ftbfs13(
+    graph: Graph,
+    source: Vertex,
+    *,
+    weight_scheme: str = "auto",
+    seed: int = 0,
+    pcons: Optional[PconsResult] = None,
+) -> FTBFSStructure:
+    """Build the [14] FT-BFS structure (no reinforced edges).
+
+    ``pcons`` may be supplied to reuse an existing Phase S0 run.
+    """
+    result = pcons or run_pcons(
+        graph, source, weight_scheme=weight_scheme, seed=seed
+    )
+    tree_edges: Set[int] = set(result.tree.tree_edges())
+    edges: Set[int] = set(tree_edges)
+    for rec in result.pairs.uncovered():
+        assert rec.last_eid is not None
+        edges.add(rec.last_eid)
+
+    stats = ConstructStats(
+        num_pairs=result.stats.num_pairs,
+        num_covered=result.stats.num_covered,
+        num_uncovered=result.stats.num_uncovered,
+        num_disconnected=result.stats.num_disconnected,
+    )
+    return FTBFSStructure(
+        graph=graph,
+        source=source,
+        epsilon=1.0,
+        edges=frozenset(edges),
+        reinforced=frozenset(),
+        tree_edges=frozenset(tree_edges),
+        stats=stats,
+    )

@@ -1,0 +1,101 @@
+"""Multi-source FT-MBFS structures (Section 5, multiple sources).
+
+An ``eps`` FT-MBFS for a source set ``S`` preserves, for every
+``s in S``, all post-failure distances from ``s`` except for failures of
+``O(|S| * n^(1-eps))`` reinforced edges.  The upper bound is the obvious
+union construction (the paper only proves the *lower* bound
+``Omega(|S|^(1-eps) * n^(1+eps))``, Theorem 5.4); union-ing is valid
+because upgrading a backup edge to reinforced never invalidates a
+structure - a reinforced edge simply never fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro._types import EdgeId, Vertex
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+from repro.core.construct import ConstructOptions, build_epsilon_ftbfs
+from repro.core.structure import FTBFSStructure
+
+__all__ = ["MBFSStructure", "build_ft_mbfs"]
+
+
+@dataclass(frozen=True)
+class MBFSStructure:
+    """A multi-source FT-MBFS structure: union of per-source structures."""
+
+    graph: Graph
+    sources: tuple
+    epsilon: float
+    edges: FrozenSet[EdgeId]
+    reinforced: FrozenSet[EdgeId]
+    per_source: Dict[Vertex, FTBFSStructure] = field(compare=False, default_factory=dict)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_backup(self) -> int:
+        """``b(n)``: fault-prone edges of the union structure."""
+        return len(self.edges) - len(self.reinforced)
+
+    @property
+    def num_reinforced(self) -> int:
+        """``r(n)``: union of the per-source reinforcement sets."""
+        return len(self.reinforced)
+
+    def cost(self, backup_cost: float, reinforce_cost: float) -> float:
+        """Total cost ``B * b + R * r``."""
+        return backup_cost * self.num_backup + reinforce_cost * self.num_reinforced
+
+    def summary(self) -> str:
+        return (
+            f"FT-MBFS(eps={self.epsilon:g}, |S|={len(self.sources)}) on "
+            f"n={self.graph.num_vertices}: |H|={self.num_edges} "
+            f"backup={self.num_backup} reinforced={self.num_reinforced}"
+        )
+
+
+def build_ft_mbfs(
+    graph: Graph,
+    sources: Sequence[Vertex],
+    epsilon: float,
+    *,
+    options: Optional[ConstructOptions] = None,
+) -> MBFSStructure:
+    """Union construction of an ``eps`` FT-MBFS for source set ``sources``.
+
+    Validity: for a failure of ``e`` outside the union reinforcement set,
+    ``e`` is outside *every* per-source reinforcement set, so each
+    per-source structure (a subgraph of the union) preserves its source's
+    distances; the union can only be better.
+    """
+    if not sources:
+        raise ParameterError("build_ft_mbfs needs at least one source")
+    seen: Set[Vertex] = set()
+    uniq: List[Vertex] = []
+    for s in sources:
+        if s not in seen:
+            seen.add(s)
+            uniq.append(s)
+
+    per_source: Dict[Vertex, FTBFSStructure] = {}
+    edges: Set[EdgeId] = set()
+    reinforced: Set[EdgeId] = set()
+    for s in uniq:
+        structure = build_epsilon_ftbfs(graph, s, epsilon, options=options)
+        per_source[s] = structure
+        edges |= structure.edges
+        reinforced |= structure.reinforced
+    return MBFSStructure(
+        graph=graph,
+        sources=tuple(uniq),
+        epsilon=float(epsilon),
+        edges=frozenset(edges),
+        reinforced=frozenset(reinforced),
+        per_source=per_source,
+    )

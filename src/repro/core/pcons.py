@@ -1,0 +1,301 @@
+"""Algorithm ``Pcons`` (Phase S0): replacement-path selection for all pairs.
+
+For every pair ``<v, e>`` with ``e in pi(s, v)`` the algorithm picks a
+replacement path ``P_{v,e} in SP(s, v, G \\ {e})``:
+
+1. *Covered test.*  If some replacement path ends with a ``T0`` edge
+   (formally: ``dist(s, v, G'(v) \\ {e}) = dist(s, v, G \\ {e})`` with
+   ``G'(v) = (G \\ E(v, G)) + E(v, T0)``), the pair is covered and the
+   last edge is that tree edge.  Implementation note (proved equivalent in
+   DESIGN.md section 3 and asserted by tests): the test reduces to
+   checking whether some tree edge ``(w, v) != e`` is *tight*, i.e.
+   ``dist(s, w, G\\e) + W(w, v) == dist(s, v, G\\e)`` - shortest-path
+   prefixes cannot pass through ``v``, and uniqueness of ``W``-shortest
+   paths means at most one tree edge can be tight.
+2. *Uncovered pairs.*  Otherwise ``P_{v,e}`` must be *new-ending*; per the
+   paper it is chosen with its (unique, Claim 4.4) divergence point as
+   close to ``s`` as possible: ``j* = min{j <= i : dist(s,v,G_j(v)) =
+   dist(s,v,G\\e)}`` (hop distances), and
+   ``P_{v,e} = pi(s, u_{j*}) o D`` where ``D`` is the ``W``-shortest
+   ``u_{j*} -> v`` path internally avoiding ``pi(s, v)``.
+
+   Implementation: one "detour Dijkstra" from ``v`` in
+   ``G \\ (V(pi(s,v)) \\ {v})`` yields, for every ``u_j`` on the path, the
+   best detour value ``delta(j)`` (minimum over edges ``(u_j, w)`` leaving
+   the path); then ``L(j) = dist_W(s, u_j) + delta(j)`` and a single scan
+   computes ``j*`` for every failing edge of ``v`` at once.
+
+Replacement *distances* ``dist(s, v, G \\ {e})`` come from the
+subtree-restricted engine in :mod:`repro.spt.replacement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.errors import ReproError, TieBreakError
+from repro.graphs.graph import Graph
+from repro.core.pairs import PairRecord, PairSet
+from repro.spt.dijkstra import dijkstra
+from repro.spt.replacement import ReplacementEngine
+from repro.spt.spt_tree import ShortestPathTree, build_spt
+from repro.spt.weights import RANDOM, WeightAssignment, make_weights
+
+__all__ = ["PconsResult", "PconsStats", "run_pcons"]
+
+_INF = None  # readability alias for "unreachable"
+
+
+@dataclass
+class PconsStats:
+    """Counters describing a Pcons run."""
+
+    num_pairs: int = 0
+    num_covered: int = 0
+    num_uncovered: int = 0
+    num_disconnected: int = 0
+    num_detour_dijkstras: int = 0
+    total_detour_length: int = 0
+
+    @property
+    def max_pairs_possible(self) -> int:
+        return self.num_pairs
+
+
+@dataclass
+class PconsResult:
+    """Everything Phase S0 produces: ``T0``, the engine, and all pairs."""
+
+    graph: Graph
+    source: Vertex
+    weights: WeightAssignment
+    tree: ShortestPathTree
+    engine: ReplacementEngine
+    pairs: PairSet
+    stats: PconsStats
+
+    def uncovered_pairs(self) -> List[PairRecord]:
+        """The paper's ``UP``."""
+        return self.pairs.uncovered()
+
+
+def run_pcons(
+    graph: Graph,
+    source: Vertex,
+    *,
+    weights: Optional[WeightAssignment] = None,
+    weight_scheme: str = "auto",
+    seed: int = 0,
+    max_reseeds: int = 5,
+) -> PconsResult:
+    """Run Phase S0 on ``graph`` from ``source``.
+
+    Under the random weight scheme a detected shortest-path tie triggers a
+    reseed-and-retry (up to ``max_reseeds`` times); the exact scheme never
+    ties.
+    """
+    attempt_weights = weights or make_weights(graph, weight_scheme, seed)
+    last_error: Optional[TieBreakError] = None
+    for attempt in range(max_reseeds + 1):
+        try:
+            return _run_once(graph, source, attempt_weights)
+        except TieBreakError as err:
+            last_error = err
+            if attempt_weights.scheme != RANDOM:
+                raise  # exact weights can never tie; this is a real bug
+            attempt_weights = attempt_weights.reseeded(
+                attempt_weights.seed + 0x9E37 + attempt
+            )
+    raise TieBreakError(
+        f"persistent shortest-path ties after {max_reseeds} reseeds: {last_error}"
+    )
+
+
+def _run_once(
+    graph: Graph, source: Vertex, weights: WeightAssignment
+) -> PconsResult:
+    tree = build_spt(graph, weights, source)
+    engine = ReplacementEngine(tree)
+    stats = PconsStats()
+    w_arr = weights.weights
+
+    records: List[PairRecord] = []
+    # Vertices needing a detour Dijkstra, with their pending uncovered pairs.
+    pending_by_vertex: Dict[Vertex, List[PairRecord]] = {}
+
+    for v in tree.preorder:
+        if v == source:
+            continue
+        path_vertices = tree.path_vertices(v)  # [s=u_0, ..., u_k=v]
+        depth_v = tree.depth[v]
+        # Tree edges incident to v (used by the covered test): parent + children.
+        tree_nbrs: List[Tuple[Vertex, EdgeId]] = [(tree.parent[v], tree.parent_eid[v])]
+        tree_nbrs.extend((c, tree.parent_eid[c]) for c in tree.children[v])
+
+        for idx in range(1, len(path_vertices)):
+            child = path_vertices[idx]
+            eid = tree.parent_eid[child]
+            rec = PairRecord(
+                pair_id=len(records),
+                v=v,
+                eid=eid,
+                child=child,
+                edge_depth=idx,
+                dist_to_v=depth_v - idx,
+            )
+            records.append(rec)
+            stats.num_pairs += 1
+
+            new_dist = engine.dist_after_failure(eid, v)
+            if new_dist is None:
+                rec.disconnected = True
+                stats.num_disconnected += 1
+                continue
+            rec.new_dist = new_dist
+
+            # Covered test (paper: hop distances): some replacement path
+            # ending with a tree edge (w, v) != e attains the hop-optimal
+            # replacement distance.  Candidate weight d_w + W(w, v) is a
+            # valid walk avoiding e, so it is >= new_dist; hop equality is
+            # exactly the paper's dist(s,v,G'(v)\e) == dist(s,v,G\e) test.
+            # Among hop-tight candidates, the W-minimum reproduces
+            # SP(s, v, G'(v)\e, W)'s last edge.
+            best_cand: Optional[int] = None
+            best_eid: Optional[EdgeId] = None
+            for w, weid in tree_nbrs:
+                if weid == eid:
+                    continue
+                dw = engine.dist_after_failure(eid, w)
+                if dw is None:
+                    continue
+                cand = dw + w_arr[weid]
+                if best_cand is None or cand < best_cand:
+                    best_cand = cand
+                    best_eid = weid
+            shift = weights.shift
+            if best_cand is not None and (best_cand >> shift) == (new_dist >> shift):
+                rec.covered = True
+                rec.last_eid = best_eid
+                stats.num_covered += 1
+            else:
+                stats.num_uncovered += 1
+                pending_by_vertex.setdefault(v, []).append(rec)
+
+    for v, pending in pending_by_vertex.items():
+        stats.num_detour_dijkstras += 1
+        _fill_detours(tree, weights, v, pending, stats)
+
+    pair_set = PairSet(records)
+    return PconsResult(
+        graph=graph,
+        source=source,
+        weights=weights,
+        tree=tree,
+        engine=engine,
+        pairs=pair_set,
+        stats=stats,
+    )
+
+
+def _fill_detours(
+    tree: ShortestPathTree,
+    weights: WeightAssignment,
+    v: Vertex,
+    pending: Sequence[PairRecord],
+    stats: PconsStats,
+) -> None:
+    """Compute divergence points and detours for ``v``'s uncovered pairs."""
+    graph = tree.graph
+    w_arr = weights.weights
+    path_vertices = tree.path_vertices(v)  # u_0 .. u_k (u_k = v)
+    k = len(path_vertices) - 1
+    path_set = set(path_vertices)
+    banned = path_set - {v}
+
+    # Detour Dijkstra from v avoiding pi(s, v) internally.
+    sp = dijkstra(graph, weights, v, banned_vertices=banned)
+
+    # delta(j): cheapest escape from u_j into the detour region, plus the
+    # detour's first edge (u_j, w).  Records (value, w, eid) per j.
+    parent_eid_v = tree.parent_eid[v]
+    delta: List[Optional[Tuple[int, Vertex, EdgeId]]] = [None] * k
+    for j in range(k):
+        u_j = path_vertices[j]
+        best: Optional[Tuple[int, Vertex, EdgeId]] = None
+        for w, eid in graph.adjacency(u_j):
+            if w == v:
+                if eid == parent_eid_v:
+                    continue  # the tree edge (u_{k-1}, v) is not a detour
+                cand = w_arr[eid]
+            elif w in path_set:
+                continue
+            else:
+                dw = sp.dist[w]
+                if dw is None:
+                    continue
+                cand = w_arr[eid] + dw
+            if best is None or cand < best[0]:
+                best = (cand, w, eid)
+        delta[j] = best
+
+    # L(j) composite weight of the best single-divergence path via u_j.
+    shift = weights.shift
+    L_hops: List[Optional[int]] = [None] * k
+    for j in range(k):
+        if delta[j] is not None:
+            L_hops[j] = (tree.dist[path_vertices[j]] + delta[j][0]) >> shift
+
+    pending_by_index = {rec.edge_depth - 1: rec for rec in pending}
+
+    best_hops: Optional[int] = None
+    best_j = -1
+    for i in range(k):
+        if L_hops[i] is not None and (best_hops is None or L_hops[i] < best_hops):
+            best_hops = L_hops[i]
+            best_j = i
+        rec = pending_by_index.get(i)
+        if rec is None:
+            continue
+        assert rec.new_dist is not None
+        target_hops = rec.new_dist >> shift
+        if best_hops is None or best_hops != target_hops:
+            raise ReproError(
+                "internal inconsistency: uncovered pair has no single-divergence "
+                f"optimum (v={v}, edge={rec.eid}, target={target_hops}, "
+                f"best={best_hops})"
+            )
+        j_star = best_j
+        rec.div_index = j_star
+        rec.divergence = path_vertices[j_star]
+        detour = _extract_detour(sp, path_vertices[j_star], delta[j_star], v)
+        rec.detour = detour
+        stats.total_detour_length += len(detour) - 1
+        # Last edge of P_{v,e} = the detour edge entering v.
+        if len(detour) == 2:
+            rec.last_eid = delta[j_star][2]  # direct edge (u_j, v)
+        else:
+            rec.last_eid = sp.parent_eid[detour[-2]]
+
+
+def _extract_detour(
+    sp,
+    u_j: Vertex,
+    delta_entry: Tuple[int, Vertex, EdgeId],
+    v: Vertex,
+) -> Tuple[Vertex, ...]:
+    """Materialize the detour ``u_j -> ... -> v`` as a vertex tuple.
+
+    The Dijkstra ran *from* ``v``, so the chain ``w*, parent(w*), ...``
+    walks back toward ``v``.
+    """
+    _, w_star, _ = delta_entry
+    if w_star == v:
+        return (u_j, v)
+    chain = [w_star]
+    cur = w_star
+    while cur != v:
+        cur = sp.parent[cur]
+        chain.append(cur)
+    return (u_j, *chain)

@@ -1,0 +1,178 @@
+"""Phase S2: handling the (~)-sets (Section 3.2, Sub-phases S2.0-S2.3).
+
+Input: the (~)-sets ``S = {PC_0 = I_2, PC_1, ..., PC_K}`` produced by
+Phase S1.  Processing:
+
+* **S2.0** build the heavy-path tree decomposition ``TD`` of ``T0``.
+* **S2.1** for every uncovered pair protecting a *glue* edge
+  (``e in E-(TD)``), add the last edge of its replacement path
+  (``O(log n)`` glue edges per root path by Fact 4.1(a), so ``O(n log n)``
+  edges total).
+* **S2.2** per (~)-set ``P`` and terminal ``v``: decompose ``pi(s, v)``
+  into ``O(log n)`` exponentially shrinking segments; *light* segments
+  (fewer than ``ceil(n^eps)`` distinct last edges) are fully added;
+  every segment also contributes its topmost pair ``<v, e*_j>``.
+* **S2.3** per ``P``, decomposition path ``psi`` intersecting
+  ``pi(s, v)``, and ``v``: add the topmost pair protecting
+  ``psi & pi(s, v)``; for the first/last segments ``pi_U/pi_L`` that
+  partially overlap ``psi``, add all pairs when their distinct-last-edge
+  count is at most ``ceil(n^eps)``, plus their topmost pairs.
+
+All additions go through an ``Add(P, v)`` accumulator exactly as in the
+paper; the last edges of accumulated pairs are inserted into ``H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.core.pairs import PairRecord
+from repro.decomposition.heavy_path import TreeDecomposition
+from repro.decomposition.segments import PathSegment, decompose_path_edges
+from repro.spt.spt_tree import ShortestPathTree
+
+__all__ = ["S2Result", "run_phase_s2"]
+
+
+@dataclass
+class S2Result:
+    """Output counters of Phase S2."""
+
+    decomposition: TreeDecomposition
+    added_edges: Set[EdgeId]
+    glue_pair_count: int = 0
+    light_segment_pairs: int = 0
+    topmost_segment_pairs: int = 0
+    psi_pairs: int = 0
+    #: per (~)-set: number of pairs selected into Add(P, v) over all v.
+    add_set_sizes: List[int] = field(default_factory=list)
+
+
+def run_phase_s2(
+    tree: ShortestPathTree,
+    uncovered: Sequence[PairRecord],
+    sim_sets: Sequence[Sequence[PairRecord]],
+    *,
+    n_eps: int,
+    structure_edges: Set[EdgeId],
+    decomposition: Optional[TreeDecomposition] = None,
+) -> S2Result:
+    """Execute Phase S2, mutating ``structure_edges`` (the growing ``H``)."""
+    td = decomposition or TreeDecomposition(tree)
+    added: Set[EdgeId] = set()
+
+    def add_edge(eid: Optional[EdgeId]) -> None:
+        assert eid is not None
+        if eid not in structure_edges:
+            structure_edges.add(eid)
+            added.add(eid)
+
+    result = S2Result(decomposition=td, added_edges=added)
+
+    # ---------------- S2.1: glue edges -------------------------------
+    glue = td.glue_edges
+    for rec in uncovered:
+        if rec.eid in glue:
+            add_edge(rec.last_eid)
+            result.glue_pair_count += 1
+
+    # Cache per-vertex segmentations; they are shared across (~)-sets.
+    segment_cache: Dict[Vertex, List[PathSegment]] = {}
+
+    def segments_of(v: Vertex) -> List[PathSegment]:
+        segs = segment_cache.get(v)
+        if segs is None:
+            segs = decompose_path_edges(tree.depth[v])
+            segment_cache[v] = segs
+        return segs
+
+    # ---------------- S2.2 + S2.3 per (~)-set ------------------------
+    for sim_set in sim_sets:
+        by_vertex: Dict[Vertex, List[PairRecord]] = {}
+        for rec in sim_set:
+            by_vertex.setdefault(rec.v, []).append(rec)
+
+        add_count = 0
+        for v, recs in by_vertex.items():
+            recs.sort(key=lambda r: r.edge_depth)
+            selected: Set[int] = set()  # pair ids chosen into Add(P, v)
+            segs = segments_of(v)
+
+            # --- S2.2: light segments + topmost pair per segment ---
+            seg_pairs: List[List[PairRecord]] = [[] for _ in segs]
+            seg_iter = iter(enumerate(segs))
+            seg_idx, seg = next(seg_iter)
+            for rec in recs:
+                edge_idx = rec.edge_depth - 1  # path-edge index
+                while edge_idx >= seg.stop:
+                    seg_idx, seg = next(seg_iter)
+                seg_pairs[seg_idx].append(rec)
+            for bucket in seg_pairs:
+                if not bucket:
+                    continue
+                distinct_last = {rec.last_eid for rec in bucket}
+                if len(distinct_last) < n_eps:  # light segment
+                    for rec in bucket:
+                        if rec.pair_id not in selected:
+                            selected.add(rec.pair_id)
+                            result.light_segment_pairs += 1
+                # topmost pair e*_j of the segment (closest to s)
+                top = bucket[0]
+                if top.pair_id not in selected:
+                    selected.add(top.pair_id)
+                    result.topmost_segment_pairs += 1
+
+            # --- S2.3: per decomposition path psi ---
+            for psi in td.paths_intersecting_root_path(v):
+                inter = td.root_path_intersection(psi, v)
+                if inter is None:
+                    continue
+                top_v, bottom_v = inter
+                lo = tree.depth[top_v] + 1  # child depths of psi & pi(s,v)
+                hi = tree.depth[bottom_v]
+                if lo > hi:
+                    continue  # vertex-only intersection, no shared edge
+                # Pairs protecting edges on psi & pi(s, v).
+                on_psi = [r for r in recs if lo <= r.edge_depth <= hi]
+                if on_psi:
+                    top = on_psi[0]  # topmost e*
+                    if top.pair_id not in selected:
+                        selected.add(top.pair_id)
+                        result.psi_pairs += 1
+                # pi_U / pi_L: first/last segment partially overlapping psi.
+                partial: List[Tuple[PathSegment, int, int]] = []
+                for seg in segs:
+                    s_lo, s_hi = seg.start + 1, seg.stop
+                    o_lo, o_hi = max(s_lo, lo), min(s_hi, hi)
+                    if o_lo > o_hi:
+                        continue
+                    contained = s_lo >= lo and s_hi <= hi
+                    if not contained:
+                        partial.append((seg, o_lo, o_hi))
+                for seg, o_lo, o_hi in (
+                    (partial[0], partial[-1]) if len(partial) > 1 else tuple(partial)
+                ):
+                    bucket = [r for r in recs if o_lo <= r.edge_depth <= o_hi]
+                    if not bucket:
+                        continue
+                    distinct_last = {rec.last_eid for rec in bucket}
+                    if len(distinct_last) <= n_eps:
+                        for rec in bucket:
+                            if rec.pair_id not in selected:
+                                selected.add(rec.pair_id)
+                                result.psi_pairs += 1
+                    top = bucket[0]
+                    if top.pair_id not in selected:
+                        selected.add(top.pair_id)
+                        result.psi_pairs += 1
+
+            # Materialize Add(P, v) into H.
+            add_count += len(selected)
+            for rec in recs:
+                if rec.pair_id in selected:
+                    add_edge(rec.last_eid)
+        result.add_set_sizes.append(add_count)
+
+    return result

@@ -1,0 +1,187 @@
+"""Verification oracle for ``(b, r)`` FT-BFS structures (Definition 2.1).
+
+The oracle is deliberately independent of the construction: it re-derives
+everything with plain hop BFS and compares, per possible failure,
+
+``dist(s, v, H \\ {e})  ==  dist(s, v, G \\ {e})``   for every ``v``,
+
+treating unreachable as unreachable on both sides ("the surviving part").
+Only failures of *tree* edges of some BFS tree can change distances, but
+the oracle does not assume the structure contains ``T0``: it checks
+
+* the no-failure case (``H`` spans the same distances as ``G``);
+* every non-reinforced edge of ``H`` whose removal could matter;
+* every edge of ``G`` outside ``H`` (cheaply, via a monotonicity
+  argument: if ``H`` preserves no-failure distances, failures of edges
+  absent from ``H`` are automatically fine *unless* the failure changes
+  distances in ``G`` - those edges are re-checked explicitly).
+
+It also exposes :func:`unprotected_edges`, the measured set the paper
+calls ``E_miss(H)`` - handy for evaluating *any* candidate subgraph, not
+just ours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.errors import VerificationError
+from repro.graphs.graph import Graph
+from repro.core.structure import FTBFSStructure
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "verify_structure",
+    "verify_subgraph",
+    "unprotected_edges",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete counterexample to Definition 2.1."""
+
+    failed_edge: Optional[EdgeId]  # None = the no-failure case
+    vertex: Vertex
+    dist_in_structure: int  # UNREACHABLE = -1
+    dist_in_graph: int
+
+    def __str__(self) -> str:
+        where = "no failure" if self.failed_edge is None else f"edge {self.failed_edge} failed"
+        return (
+            f"[{where}] vertex {self.vertex}: structure dist "
+            f"{self.dist_in_structure} != graph dist {self.dist_in_graph}"
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification run."""
+
+    ok: bool
+    checked_failures: int
+    violations: List[Violation] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`VerificationError` when not ok."""
+        if not self.ok:
+            first = self.violations[0] if self.violations else "(no detail)"
+            raise VerificationError(
+                f"structure verification failed with {len(self.violations)} "
+                f"violations; first: {first}"
+            )
+
+
+def verify_structure(
+    structure: FTBFSStructure,
+    *,
+    max_violations: int = 10,
+) -> VerificationReport:
+    """Verify an :class:`FTBFSStructure` against its graph."""
+    return verify_subgraph(
+        structure.graph,
+        structure.source,
+        structure.edges,
+        structure.reinforced,
+        max_violations=max_violations,
+    )
+
+
+def verify_subgraph(
+    graph: Graph,
+    source: Vertex,
+    structure_edges: Iterable[EdgeId],
+    reinforced: Iterable[EdgeId] = (),
+    *,
+    max_violations: int = 10,
+) -> VerificationReport:
+    """Verify an arbitrary edge set ``H`` with reinforced subset ``E'``."""
+    h_edges: Set[EdgeId] = set(structure_edges)
+    e_prime: Set[EdgeId] = set(reinforced)
+    violations: List[Violation] = []
+    checked = 0
+
+    # --- no-failure case ------------------------------------------------
+    base_g = bfs_distances(graph, source)
+    base_h = bfs_distances(graph, source, allowed_edges=h_edges)
+    checked += 1
+    _compare(None, base_h, base_g, violations, max_violations)
+    if len(violations) >= max_violations:
+        return VerificationReport(False, checked, violations)
+
+    # --- failures -------------------------------------------------------
+    # An edge failure in G changes some distance only if the edge is
+    # "BFS-critical"; rather than guess, check every fault-prone edge of G.
+    # Edges outside H with unchanged G-distances are skipped via a quick
+    # necessity filter: e = (u, v) can only matter if it is tight in G
+    # (|dist(u) - dist(v)| == 1 ... actually tight edges are those that lie
+    # on some shortest path: dist(u) + 1 == dist(v) or vice versa).
+    for eid, u, v in graph.edges():
+        if eid in e_prime:
+            continue  # reinforced edges never fail
+        du, dv = base_g[u], base_g[v]
+        tight = (
+            (du != UNREACHABLE and dv == du + 1)
+            or (dv != UNREACHABLE and du == dv + 1)
+        )
+        if not tight and eid not in h_edges:
+            # Removing a non-tight, non-structure edge changes neither side.
+            continue
+        dist_g = bfs_distances(graph, source, banned_edge=eid)
+        dist_h = bfs_distances(
+            graph, source, banned_edge=eid, allowed_edges=h_edges
+        )
+        checked += 1
+        _compare(eid, dist_h, dist_g, violations, max_violations)
+        if len(violations) >= max_violations:
+            break
+
+    return VerificationReport(not violations, checked, violations)
+
+
+def _compare(
+    eid: Optional[EdgeId],
+    dist_h: Sequence[int],
+    dist_g: Sequence[int],
+    violations: List[Violation],
+    max_violations: int,
+) -> None:
+    for v, (dh, dg) in enumerate(zip(dist_h, dist_g)):
+        if dh != dg:
+            violations.append(Violation(eid, v, dh, dg))
+            if len(violations) >= max_violations:
+                return
+
+
+def unprotected_edges(
+    graph: Graph,
+    source: Vertex,
+    structure_edges: Iterable[EdgeId],
+) -> Set[EdgeId]:
+    """The measured ``E_miss(H)``: edges whose failure ``H`` fails to cover.
+
+    An edge ``e`` is *unprotected* in ``H`` when some vertex has
+    ``dist(s, v, H \\ e) != dist(s, v, G \\ e)``.  The returned set is the
+    minimal valid reinforcement set for ``H`` - useful to evaluate
+    candidate structures produced by any method.
+    """
+    h_edges: Set[EdgeId] = set(structure_edges)
+    base_g = bfs_distances(graph, source)
+    result: Set[EdgeId] = set()
+    for eid, u, v in graph.edges():
+        du, dv = base_g[u], base_g[v]
+        tight = (
+            (du != UNREACHABLE and dv == du + 1)
+            or (dv != UNREACHABLE and du == dv + 1)
+        )
+        if not tight and eid not in h_edges:
+            continue
+        dist_g = bfs_distances(graph, source, banned_edge=eid)
+        dist_h = bfs_distances(graph, source, banned_edge=eid, allowed_edges=h_edges)
+        if dist_h != dist_g:
+            result.add(eid)
+    return result

@@ -1,0 +1,231 @@
+"""Vertex-fault FT-BFS structures - the [14] extension.
+
+The paper handles *edge* failures; its predecessor (Parter-Peleg,
+ESA 2013, reference [14]) also treats single *vertex* failures: a
+subgraph ``H`` such that for every failed vertex ``x != s``,
+
+``dist(s, v, H \\ {x}) = dist(s, v, G \\ {x})``   for every ``v``.
+
+We include this as an extension (the natural "future work" companion to
+the edge tradeoff): the same last-edge strategy applies - ``T0`` plus the
+last edges of vertex-avoiding replacement paths - with the analogous
+Observation 2.2 induction justifying last-edge sufficiency.  Replacement
+distances per failed vertex ``x`` are computed with a Dijkstra restricted
+to ``subtree(x) \\ {x}``, seeded from crossing edges that avoid ``x``.
+
+An independent verification oracle (`verify_vertex_fault`) re-checks the
+guarantee with plain BFS per failed vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.graphs.graph import Graph
+from repro.spt.bfs import bfs_distances
+from repro.spt.dijkstra import seeded_dijkstra
+from repro.spt.spt_tree import ShortestPathTree, build_spt
+from repro.spt.weights import WeightAssignment, make_weights
+
+__all__ = [
+    "VertexFaultStructure",
+    "build_vertex_fault_ftbfs",
+    "verify_vertex_fault",
+    "VertexFaultReport",
+]
+
+
+@dataclass(frozen=True)
+class VertexFaultStructure:
+    """A vertex-fault FT-BFS structure (no reinforcement variant)."""
+
+    graph: Graph
+    source: Vertex
+    edges: FrozenSet[EdgeId]
+    tree_edges: FrozenSet[EdgeId]
+    num_pairs: int
+    num_covered: int
+    num_uncovered: int
+    num_disconnected: int
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def summary(self) -> str:
+        return (
+            f"vertex-fault FT-BFS on n={self.graph.num_vertices}: "
+            f"|H|={self.num_edges} ({self.num_uncovered} new last edges)"
+        )
+
+
+def build_vertex_fault_ftbfs(
+    graph: Graph,
+    source: Vertex,
+    *,
+    weight_scheme: str = "auto",
+    seed: int = 0,
+) -> VertexFaultStructure:
+    """Build ``T0`` + last edges of all vertex-avoiding replacement paths."""
+    weights = make_weights(graph, weight_scheme, seed)
+    tree = build_spt(graph, weights, source)
+    w_arr = weights.weights
+    shift = weights.shift
+
+    edges: Set[EdgeId] = set(tree.tree_edges())
+    tree_edges = frozenset(edges)
+    num_pairs = num_covered = num_uncovered = num_disconnected = 0
+
+    # Pairs <v, x>: v reachable, x an internal vertex of pi(s, v).
+    # Group by failed vertex x: recompute distances inside subtree(x)\{x}.
+    for x in tree.preorder:
+        if x == source:
+            continue
+        sub = [u for u in tree.subtree_vertices(x) if u != x]
+        if not sub:
+            continue
+        failure = _vertex_failure_distances(graph, tree, weights, x, sub)
+
+        for v in sub:
+            num_pairs += 1
+            new_dist = failure.get(v)
+            if new_dist is None:
+                num_disconnected += 1
+                continue
+            # Covered test (hop semantics, as in Pcons): a tree edge
+            # (w, v) with w != x whose post-failure candidate is
+            # hop-tight.
+            best: Optional[int] = None
+            best_eid: Optional[EdgeId] = None
+            tree_nbrs: List[Tuple[Vertex, EdgeId]] = [
+                (tree.parent[v], tree.parent_eid[v])
+            ]
+            tree_nbrs.extend((c, tree.parent_eid[c]) for c in tree.children[v])
+            for w, weid in tree_nbrs:
+                if w == x:
+                    continue
+                dw = _dist_for(tree, failure, x, w)
+                if dw is None:
+                    continue
+                cand = dw + w_arr[weid]
+                if best is None or cand < best:
+                    best, best_eid = cand, weid
+            if best is not None and (best >> shift) == (new_dist >> shift):
+                num_covered += 1  # last edge already in T0
+                continue
+            # Uncovered: find the best non-tree last edge (w, v), w != x.
+            num_uncovered += 1
+            best = None
+            best_eid = None
+            for w, weid in graph.adjacency(v):
+                if w == x:
+                    continue
+                dw = _dist_for(tree, failure, x, w)
+                if dw is None:
+                    continue
+                cand = dw + w_arr[weid]
+                if best is None or cand < best:
+                    best, best_eid = cand, weid
+            assert best is not None and (best >> shift) == (new_dist >> shift), (
+                "no tight last edge found for a reachable vertex-fault pair"
+            )
+            edges.add(best_eid)
+
+    return VertexFaultStructure(
+        graph=graph,
+        source=source,
+        edges=frozenset(edges),
+        tree_edges=tree_edges,
+        num_pairs=num_pairs,
+        num_covered=num_covered,
+        num_uncovered=num_uncovered,
+        num_disconnected=num_disconnected,
+    )
+
+
+def _vertex_failure_distances(
+    graph: Graph,
+    tree: ShortestPathTree,
+    weights: WeightAssignment,
+    x: Vertex,
+    sub: List[Vertex],
+) -> Dict[Vertex, Optional[int]]:
+    """Distances ``dist_W(s, v, G \\ {x})`` for ``v`` in ``subtree(x)\\{x}``."""
+    allowed = set(sub)
+    tin_x, tout_x = tree.tin[x], tree.tout[x]
+    tins = tree.tin
+    dist0 = tree.dist
+    w_arr = weights.weights
+    seeds = []
+    for b in sub:
+        for a, eid in graph.adjacency(b):
+            if a == x:
+                continue
+            ta = tins[a]
+            if tin_x <= ta < tout_x and ta != -1:
+                continue  # stays inside the (punctured) subtree
+            da = dist0[a]
+            if da is None:
+                continue
+            seeds.append((da + w_arr[eid], b, a, eid))
+    if not seeds:
+        return {v: None for v in sub}
+    sp = seeded_dijkstra(graph, weights, seeds, allowed_vertices=allowed)
+    return {v: sp.dist[v] for v in sub}
+
+
+def _dist_for(
+    tree: ShortestPathTree,
+    failure: Dict[Vertex, Optional[int]],
+    x: Vertex,
+    w: Vertex,
+) -> Optional[int]:
+    """Post-failure distance of ``w`` (original outside ``subtree(x)``)."""
+    if not tree.is_reachable(w):
+        return None
+    if tree.in_subtree(x, w):
+        return None if w == x else failure.get(w)
+    return tree.dist[w]
+
+
+# ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+@dataclass
+class VertexFaultReport:
+    """Outcome of vertex-fault verification."""
+
+    ok: bool
+    checked_failures: int
+    violations: List[Tuple[Vertex, Vertex, int, int]] = field(default_factory=list)
+
+
+def verify_vertex_fault(
+    graph: Graph,
+    source: Vertex,
+    structure_edges: Iterable[EdgeId],
+    *,
+    max_violations: int = 10,
+) -> VertexFaultReport:
+    """Check ``dist(s, v, H \\ {x}) == dist(s, v, G \\ {x})`` for all x, v."""
+    h_edges = set(structure_edges)
+    violations: List[Tuple[Vertex, Vertex, int, int]] = []
+    checked = 0
+    for x in graph.vertices():
+        if x == source:
+            continue
+        dist_g = bfs_distances(graph, source, banned_vertices={x})
+        dist_h = bfs_distances(
+            graph, source, banned_vertices={x}, allowed_edges=h_edges
+        )
+        checked += 1
+        for v, (dh, dg) in enumerate(zip(dist_h, dist_g)):
+            if v == x:
+                continue
+            if dh != dg:
+                violations.append((x, v, dh, dg))
+                if len(violations) >= max_violations:
+                    return VertexFaultReport(False, checked, violations)
+    return VertexFaultReport(not violations, checked, violations)

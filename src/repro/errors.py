@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`,
+so callers can catch a single base class.  Specific subclasses exist for
+the failure modes a user can plausibly want to handle programmatically:
+bad parameters, malformed graphs, tie-breaking failures of the random
+perturbation scheme, and verification failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ParameterError",
+    "TieBreakError",
+    "VerificationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an invalid vertex/edge."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its documented range."""
+
+
+class TieBreakError(ReproError):
+    """The random perturbation weights produced a shortest-path tie.
+
+    The exact tie-breaking scheme can never raise this; the random scheme
+    raises it so the caller can reseed and retry (see
+    :func:`repro.spt.weights.make_weights`).
+    """
+
+    def __init__(self, message: str = "shortest-path tie under random perturbation") -> None:
+        super().__init__(message)
+
+
+class VerificationError(ReproError):
+    """A structure failed verification against its specification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown id, bad sweep, ...)."""

@@ -1,0 +1,33 @@
+"""Experiment harness: registry, records, workloads."""
+
+from repro.harness.experiments import EXPERIMENTS, experiment_ids, run_experiment
+from repro.harness.parallel import (
+    SweepOutcome,
+    SweepTask,
+    default_worker_count,
+    run_sweep,
+)
+from repro.harness.records import (
+    ExperimentRecord,
+    artifacts_dir,
+    load_record,
+    save_record,
+)
+from repro.harness.workloads import WORKLOADS, workload, workload_names
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "SweepOutcome",
+    "SweepTask",
+    "default_worker_count",
+    "run_sweep",
+    "ExperimentRecord",
+    "artifacts_dir",
+    "load_record",
+    "save_record",
+    "WORKLOADS",
+    "workload",
+    "workload_names",
+]

@@ -1,0 +1,105 @@
+"""Named benchmark workloads: the graph suite the experiments run on.
+
+Each workload returns ``(graph, source)``.  The suite mixes the paper's
+own extremal gadgets with standard random families so the universal
+claims are exercised away from the adversarial instances too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro._types import Vertex
+from repro.errors import ExperimentError
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    barbell_graph,
+    connected_gnp_graph,
+    grid_graph,
+    lollipop_graph,
+    random_connected_graph,
+    watts_strogatz_graph,
+)
+from repro.lower_bounds import build_clique_example, build_theorem51
+
+__all__ = ["workload", "workload_names", "WORKLOADS"]
+
+WorkloadFn = Callable[..., Tuple[Graph, Vertex]]
+
+
+def _gnp(n: int = 300, avg_degree: float = 10.0, seed: int = 0) -> Tuple[Graph, Vertex]:
+    p = min(1.0, avg_degree / max(1, n - 1))
+    return connected_gnp_graph(n, p, seed=seed), 0
+
+
+def _sparse(n: int = 300, extra: float = 0.5, seed: int = 0) -> Tuple[Graph, Vertex]:
+    return random_connected_graph(n, int(extra * n), seed=seed), 0
+
+
+def _ws(n: int = 300, k: int = 6, beta: float = 0.2, seed: int = 0) -> Tuple[Graph, Vertex]:
+    return watts_strogatz_graph(n, k, beta, seed=seed), 0
+
+
+def _ba(n: int = 300, m: int = 3, seed: int = 0) -> Tuple[Graph, Vertex]:
+    return barabasi_albert_graph(n, m, seed=seed), 0
+
+
+def _grid(side: int = 18, **_: object) -> Tuple[Graph, Vertex]:
+    return grid_graph(side, side), 0
+
+
+def _lollipop(n: int = 300, **_: object) -> Tuple[Graph, Vertex]:
+    clique = max(4, n // 4)
+    return lollipop_graph(clique, n - clique), n - 1
+
+
+def _barbell(n: int = 300, **_: object) -> Tuple[Graph, Vertex]:
+    clique = max(4, n // 3)
+    bridge = max(1, n - 2 * clique)
+    return barbell_graph(clique, bridge), 0
+
+
+def _lb51(n: int = 400, eps: float = 0.3, **_: object) -> Tuple[Graph, Vertex]:
+    lb = build_theorem51(n, eps)
+    return lb.graph, lb.source
+
+
+def _lb_deep(n: int = 800, d: int = 24, k: int = 2, x: int = 6, **_: object) -> Tuple[Graph, Vertex]:
+    lb = build_theorem51(max(n, 16), 0.2, d=d, k=k, x_size=x)
+    return lb.graph, lb.source
+
+
+def _clique_bridge(n: int = 120, **_: object) -> Tuple[Graph, Vertex]:
+    example = build_clique_example(n)
+    return example.graph, example.source
+
+
+WORKLOADS: Dict[str, WorkloadFn] = {
+    "gnp": _gnp,
+    "sparse": _sparse,
+    "watts_strogatz": _ws,
+    "barabasi_albert": _ba,
+    "grid": _grid,
+    "lollipop": _lollipop,
+    "barbell": _barbell,
+    "lb51": _lb51,
+    "lb_deep": _lb_deep,
+    "clique_bridge": _clique_bridge,
+}
+
+
+def workload_names() -> List[str]:
+    """All registered workload names."""
+    return sorted(WORKLOADS)
+
+
+def workload(name: str, **params: object) -> Tuple[Graph, Vertex]:
+    """Instantiate a named workload with optional parameter overrides."""
+    try:
+        fn = WORKLOADS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None
+    return fn(**params)

@@ -1,0 +1,115 @@
+"""Serialization of graphs and structures (JSON, self-contained).
+
+A serialized structure embeds its graph (vertex count + edge list) so a
+deployment plan can be shipped, audited and re-verified elsewhere without
+access to the original generator:
+
+    payload = structure_to_json(structure)
+    graph, structure2 = structure_from_json(payload)
+    assert verify_structure(structure2).ok
+
+Edges are stored as endpoint pairs (not internal ids), so the format is
+stable across library versions that may renumber edges.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.core.structure import ConstructStats, FTBFSStructure
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "structure_to_dict",
+    "structure_from_dict",
+    "structure_to_json",
+    "structure_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, object]:
+    """Serialize a graph to plain data."""
+    return {
+        "num_vertices": graph.num_vertices,
+        "edges": [list(pair) for pair in graph.edge_list()],
+        "name": graph.name,
+    }
+
+
+def graph_from_dict(data: Dict[str, object]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        return Graph(
+            int(data["num_vertices"]),
+            [(int(u), int(v)) for u, v in data["edges"]],
+            name=str(data.get("name", "")),
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise ReproError(f"malformed graph payload: {err}") from err
+
+
+def _edge_pairs(graph: Graph, edge_ids) -> List[List[int]]:
+    return sorted([list(graph.endpoints(eid)) for eid in edge_ids])
+
+
+def structure_to_dict(structure: FTBFSStructure) -> Dict[str, object]:
+    """Serialize a structure (graph embedded) to plain data."""
+    graph = structure.graph
+    return {
+        "format_version": _FORMAT_VERSION,
+        "graph": graph_to_dict(graph),
+        "source": structure.source,
+        "epsilon": structure.epsilon,
+        "structure_edges": _edge_pairs(graph, structure.edges),
+        "reinforced_edges": _edge_pairs(graph, structure.reinforced),
+        "tree_edges": _edge_pairs(graph, structure.tree_edges),
+    }
+
+
+def structure_from_dict(
+    data: Dict[str, object],
+) -> Tuple[Graph, FTBFSStructure]:
+    """Rebuild ``(graph, structure)`` from :func:`structure_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(f"unsupported structure format version: {version!r}")
+    graph = graph_from_dict(data["graph"])  # type: ignore[arg-type]
+
+    def ids(key: str) -> frozenset:
+        try:
+            return frozenset(graph.edge_id(int(u), int(v)) for u, v in data[key])
+        except (KeyError, TypeError, ValueError) as err:
+            raise ReproError(f"malformed structure payload ({key}): {err}") from err
+
+    structure = FTBFSStructure(
+        graph=graph,
+        source=int(data["source"]),
+        epsilon=float(data["epsilon"]),
+        edges=ids("structure_edges"),
+        reinforced=ids("reinforced_edges"),
+        tree_edges=ids("tree_edges"),
+        stats=ConstructStats(),
+    )
+    return graph, structure
+
+
+def structure_to_json(structure: FTBFSStructure, *, indent: int = 0) -> str:
+    """Serialize a structure to a JSON string."""
+    return json.dumps(
+        structure_to_dict(structure), indent=indent or None, sort_keys=True
+    )
+
+
+def structure_from_json(payload: str) -> Tuple[Graph, FTBFSStructure]:
+    """Rebuild ``(graph, structure)`` from a JSON string."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as err:
+        raise ReproError(f"invalid JSON payload: {err}") from err
+    return structure_from_dict(data)

@@ -1,0 +1,28 @@
+"""Lower-bound gadget graphs (Section 5 of the paper)."""
+
+from repro.lower_bounds.clique_example import CliqueBridgeGraph, build_clique_example
+from repro.lower_bounds.multi_source import (
+    MultiSourceCopy,
+    MultiSourceLowerBoundGraph,
+    build_theorem54,
+    multi_source_parameters,
+)
+from repro.lower_bounds.single_source import (
+    GadgetCopy,
+    LowerBoundGraph,
+    build_theorem51,
+    lower_bound_parameters,
+)
+
+__all__ = [
+    "CliqueBridgeGraph",
+    "build_clique_example",
+    "MultiSourceCopy",
+    "MultiSourceLowerBoundGraph",
+    "build_theorem54",
+    "multi_source_parameters",
+    "GadgetCopy",
+    "LowerBoundGraph",
+    "build_theorem51",
+    "lower_bound_parameters",
+]

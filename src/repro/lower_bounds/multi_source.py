@@ -1,0 +1,215 @@
+"""The Theorem 5.4 multi-source lower-bound graph ``G_{eps,K}``.
+
+``K`` sources, ``k`` gadget "columns"; each (source, column) pair
+``(i, j)`` owns a copy ``G^{i,j}`` (path ``pi_{i,j}`` of ``d`` edges plus
+``d`` decreasing-length ladders to terminals ``Z_{i,j}``, exactly as in
+the single-source gadget).  Column ``j`` additionally owns a shared block
+``X_j`` (hung off a hub ``v~_j`` that also connects to every copy's
+terminal ``v*_{i,j}``) and the complete bipartite graph
+``B_j = X_j x (union over i of Z_{i,j})``.
+
+Claim 5.6: the failure of path edge ``e^{i,j}_l`` forces, for source
+``s_i``, every edge ``(x, z^{i,j}_l)`` with ``x in X_j`` into the
+structure, unless that path edge is reinforced.
+
+Parameter note (documented deviation): the paper sets
+``d ~ (n/4K)^eps`` and ``k ~ (n/K)^(1-2eps)``, under which
+``|E(Pi)| = K*k*d = Theta(K^eps * n^(1-eps))`` - yet the theorem text
+allows ``K * n^(1-eps) / 6`` reinforcements, which would exceed
+``|E(Pi)|`` for large ``K``.  We keep the paper's structural parameters
+and expose the internally consistent budget ``|E(Pi)| / 6`` (matching the
+single-source case); the certified bound then reproduces the claimed
+shape ``Omega(K^(1-eps) * n^(1+eps))`` because each forced set has size
+``|X_j| = Theta(n^(2eps) * K^(1-2eps))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+from repro.util.validation import check_epsilon
+
+__all__ = [
+    "MultiSourceCopy",
+    "MultiSourceLowerBoundGraph",
+    "build_theorem54",
+    "multi_source_parameters",
+]
+
+
+@dataclass
+class MultiSourceCopy:
+    """Layout of one copy ``G^{i,j}`` (source index i, column index j)."""
+
+    source_index: int
+    column_index: int
+    pi_vertices: List[Vertex]
+    z_vertices: List[Vertex]
+    ladder_paths: List[List[Vertex]]
+    pi_edge_ids: List[EdgeId] = field(default_factory=list)
+    #: forced sets E^{i,j}_l (index l-1): edges (x, z_l) for x in X_j.
+    forced_sets: List[List[EdgeId]] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> Vertex:
+        return self.pi_vertices[-1]
+
+
+@dataclass
+class MultiSourceLowerBoundGraph:
+    """The built multi-source gadget with layout metadata."""
+
+    graph: Graph
+    sources: List[Vertex]
+    epsilon: float
+    d: int
+    k: int
+    x_size: int
+    copies: Dict[Tuple[int, int], MultiSourceCopy]
+    x_blocks: List[List[Vertex]]
+    hubs: List[Vertex]
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def num_pi_edges(self) -> int:
+        """``|E(Pi)| = K * k * d``."""
+        return self.num_sources * self.k * self.d
+
+    def pi_edges(self) -> List[EdgeId]:
+        return [eid for c in self.copies.values() for eid in c.pi_edge_ids]
+
+    def certified_backup_lower_bound(self, reinforcement_budget: int) -> int:
+        """Provable minimum backup size for any structure within budget.
+
+        Each unreinforced path edge forces its disjoint ``E^{i,j}_l`` of
+        size ``|X_j|`` (Claim 5.6).
+        """
+        unreinforced = max(0, self.num_pi_edges - max(0, reinforcement_budget))
+        return unreinforced * self.x_size
+
+    def expected_replacement_distance(self, ell: int) -> int:
+        """Claim 5.6 arithmetic: ``dist(s_i, x, G \\ e_l) = 2d - l + 7``."""
+        if not 1 <= ell <= self.d:
+            raise ParameterError(f"l must be in [1, {self.d}], got {ell}")
+        return 2 * self.d - ell + 7
+
+
+def multi_source_parameters(
+    n_target: int, epsilon: float, num_sources: int
+) -> Tuple[int, int, int]:
+    """Derive ``(d, k, x_size)`` following the paper's scaling."""
+    eps = check_epsilon(epsilon)
+    if num_sources < 1:
+        raise ParameterError(f"need at least one source, got {num_sources}")
+    if n_target < 16 * num_sources:
+        raise ParameterError(
+            f"multi-source gadget needs n_target >= 16*K, got {n_target} (K={num_sources})"
+        )
+    base = n_target / num_sources
+    d = max(1, int((n_target / (4 * num_sources)) ** eps))
+    k = max(1, int(math.floor(base ** max(0.0, 1.0 - 2.0 * eps))))
+    ladder_interior = sum(6 + 2 * (d - j) - 1 for j in range(1, d + 1))
+    per_copy = (d + 1) + d + ladder_interior
+    budget = n_target - num_sources - k  # minus sources and hubs
+    x_size = max(2, (budget - num_sources * k * per_copy) // max(1, k))
+    return d, k, x_size
+
+
+def build_theorem54(
+    n_target: int,
+    epsilon: float,
+    num_sources: int,
+    *,
+    d: Optional[int] = None,
+    k: Optional[int] = None,
+    x_size: Optional[int] = None,
+) -> MultiSourceLowerBoundGraph:
+    """Build ``G_{eps,K}``; parameters derived from ``n_target`` unless given."""
+    eps = check_epsilon(epsilon)
+    if d is None or k is None or x_size is None:
+        d0, k0, x0 = multi_source_parameters(n_target, epsilon, num_sources)
+        d = d if d is not None else d0
+        k = k if k is not None else k0
+        x_size = x_size if x_size is not None else x0
+    if min(d, k, x_size, num_sources) < 1:
+        raise ParameterError(
+            f"invalid parameters d={d}, k={k}, x_size={x_size}, K={num_sources}"
+        )
+
+    edges: List[Tuple[int, int]] = []
+    next_id = 0
+
+    def fresh(count: int) -> List[int]:
+        nonlocal next_id
+        ids = list(range(next_id, next_id + count))
+        next_id += count
+        return ids
+
+    sources = fresh(num_sources)
+    hubs = fresh(k)
+    x_blocks = [fresh(x_size) for _ in range(k)]
+    for j in range(k):
+        for x in x_blocks[j]:
+            edges.append((hubs[j], x))
+
+    copies: Dict[Tuple[int, int], MultiSourceCopy] = {}
+    for i in range(num_sources):
+        for j in range(k):
+            pi_vertices = fresh(d + 1)
+            z_vertices = fresh(d)
+            for a, b in zip(pi_vertices, pi_vertices[1:]):
+                edges.append((a, b))
+            edges.append((sources[i], pi_vertices[0]))
+            edges.append((pi_vertices[-1], hubs[j]))
+            ladder_paths: List[List[int]] = []
+            for ell in range(1, d + 1):
+                t_l = 6 + 2 * (d - ell)
+                interior = fresh(t_l - 1)
+                full = [pi_vertices[ell - 1], *interior, z_vertices[ell - 1]]
+                for a, b in zip(full, full[1:]):
+                    edges.append((a, b))
+                ladder_paths.append(full)
+            # bipartite: X_j x Z_{i,j}
+            for x in x_blocks[j]:
+                for z in z_vertices:
+                    edges.append((x, z))
+            copies[(i, j)] = MultiSourceCopy(
+                source_index=i,
+                column_index=j,
+                pi_vertices=pi_vertices,
+                z_vertices=z_vertices,
+                ladder_paths=ladder_paths,
+            )
+
+    graph = Graph(
+        next_id, edges, name=f"G_eps_K(n~{n_target},eps={eps:g},K={num_sources})"
+    )
+    for copy in copies.values():
+        copy.pi_edge_ids = [
+            graph.edge_id(a, b)
+            for a, b in zip(copy.pi_vertices, copy.pi_vertices[1:])
+        ]
+        copy.forced_sets = [
+            [graph.edge_id(x, z) for x in x_blocks[copy.column_index]]
+            for z in copy.z_vertices
+        ]
+
+    return MultiSourceLowerBoundGraph(
+        graph=graph,
+        sources=sources,
+        epsilon=eps,
+        d=d,
+        k=k,
+        x_size=x_size,
+        copies=copies,
+        x_blocks=x_blocks,
+        hubs=hubs,
+    )

@@ -1,0 +1,25 @@
+"""Failure simulation substrate: traces and structure replay."""
+
+from repro.simulate.events import (
+    FailureEvent,
+    FailureTrace,
+    adversarial_trace,
+    uniform_trace,
+)
+from repro.simulate.simulator import (
+    EventOutcome,
+    SimulationReport,
+    simulate_structure,
+    simulate_trace,
+)
+
+__all__ = [
+    "FailureEvent",
+    "FailureTrace",
+    "adversarial_trace",
+    "uniform_trace",
+    "EventOutcome",
+    "SimulationReport",
+    "simulate_structure",
+    "simulate_trace",
+]

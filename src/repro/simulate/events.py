@@ -1,0 +1,105 @@
+"""Failure traces: sequences of single-link failure/repair events.
+
+The paper's model protects against a *single* edge failure at a time
+(failures are repaired before the next one hits).  A
+:class:`FailureTrace` is a reproducible sequence of such events, drawn
+either uniformly over fault-prone edges or biased toward "important"
+edges (BFS-tree edges, which are the only ones whose failure can hurt).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro._types import EdgeId
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+
+__all__ = ["FailureEvent", "FailureTrace", "uniform_trace", "adversarial_trace"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure: the edge that fails and the duration it stays down."""
+
+    index: int
+    edge: EdgeId
+    downtime: float  # abstract time units the failure lasts
+
+
+@dataclass(frozen=True)
+class FailureTrace:
+    """A reproducible sequence of single-failure events."""
+
+    events: tuple
+    seed: int
+    kind: str
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def edges(self) -> List[EdgeId]:
+        return [ev.edge for ev in self.events]
+
+
+def uniform_trace(
+    graph: Graph,
+    num_events: int,
+    *,
+    seed: int = 0,
+    exclude: Optional[Iterable[EdgeId]] = None,
+    mean_downtime: float = 1.0,
+) -> FailureTrace:
+    """Failures drawn uniformly over non-excluded edges.
+
+    ``exclude`` models reinforced edges (they never fail).
+    """
+    if num_events < 0:
+        raise ParameterError(f"num_events must be >= 0, got {num_events}")
+    excluded: Set[EdgeId] = set(exclude or ())
+    candidates = [eid for eid, _, _ in graph.edges() if eid not in excluded]
+    if not candidates and num_events > 0:
+        raise ParameterError("no fault-prone edges to fail")
+    rng = random.Random(seed)
+    events = tuple(
+        FailureEvent(
+            index=i,
+            edge=rng.choice(candidates),
+            downtime=rng.expovariate(1.0 / mean_downtime),
+        )
+        for i in range(num_events)
+    )
+    return FailureTrace(events=events, seed=seed, kind="uniform")
+
+
+def adversarial_trace(
+    graph: Graph,
+    tree_edges: Sequence[EdgeId],
+    num_events: int,
+    *,
+    seed: int = 0,
+    exclude: Optional[Iterable[EdgeId]] = None,
+    mean_downtime: float = 1.0,
+) -> FailureTrace:
+    """Failures concentrated on BFS-tree edges (the only harmful ones)."""
+    if num_events < 0:
+        raise ParameterError(f"num_events must be >= 0, got {num_events}")
+    excluded: Set[EdgeId] = set(exclude or ())
+    candidates = [eid for eid in tree_edges if eid not in excluded]
+    if not candidates and num_events > 0:
+        raise ParameterError("no fault-prone tree edges to fail")
+    rng = random.Random(seed)
+    events = tuple(
+        FailureEvent(
+            index=i,
+            edge=rng.choice(candidates),
+            downtime=rng.expovariate(1.0 / mean_downtime),
+        )
+        for i in range(num_events)
+    )
+    return FailureTrace(events=events, seed=seed, kind="adversarial")

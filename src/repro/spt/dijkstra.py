@@ -1,0 +1,216 @@
+"""Dijkstra with composite hop/perturbation weights and failure simulation.
+
+This is the workhorse of the whole library.  Key features:
+
+* **Banned vertices / edges** simulate failures without copying the graph.
+* **Restricted runs** (``allowed_vertices``) settle only a vertex subset -
+  used by the replacement-path engine to recompute just the subtree under
+  a failed tree edge.
+* **Seeded frontiers** (``seeds``) start the heap from precomputed
+  distances at the subset boundary.
+* **Tie detection**: two distinct equal-weight paths to the same vertex
+  violate the unique-shortest-path contract of
+  :mod:`repro.spt.weights`; under the random scheme this raises
+  :class:`repro.errors.TieBreakError` so callers can reseed (the exact
+  scheme provably never trips it).
+
+Weights are Python integers (``BIG * hops + perturbation``), so all
+comparisons are exact - no floating point anywhere near the tie-breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.errors import GraphError, TieBreakError
+from repro.graphs.graph import Graph
+from repro.spt.weights import WeightAssignment
+
+__all__ = ["ShortestPathResult", "dijkstra", "seeded_dijkstra"]
+
+
+@dataclass
+class ShortestPathResult:
+    """Distances and parent pointers from a Dijkstra run.
+
+    ``dist[v]`` is the composite weight (``None`` when unreachable),
+    ``parent[v]``/``parent_eid[v]`` give the unique shortest-path tree
+    (``-1`` at the source and at unreachable vertices).
+    """
+
+    source: Vertex
+    dist: List[Optional[int]]
+    parent: List[int]
+    parent_eid: List[int]
+
+    def hops(self, weights: WeightAssignment, v: Vertex) -> Optional[int]:
+        """Hop distance to ``v`` (``None`` when unreachable)."""
+        d = self.dist[v]
+        return None if d is None else weights.hops(d)
+
+    def path_vertices(self, v: Vertex) -> List[Vertex]:
+        """The unique shortest path ``source -> v`` as a vertex list."""
+        if self.dist[v] is None:
+            raise GraphError(f"vertex {v} unreachable from {self.source}")
+        path = [v]
+        while v != self.source:
+            v = self.parent[v]
+            path.append(v)
+        path.reverse()
+        return path
+
+    def path_edges(self, v: Vertex) -> List[EdgeId]:
+        """The unique shortest path ``source -> v`` as edge ids."""
+        if self.dist[v] is None:
+            raise GraphError(f"vertex {v} unreachable from {self.source}")
+        edges = []
+        while v != self.source:
+            edges.append(self.parent_eid[v])
+            v = self.parent[v]
+        edges.reverse()
+        return edges
+
+
+def dijkstra(
+    graph: Graph,
+    weights: WeightAssignment,
+    source: Vertex,
+    *,
+    banned_vertices: Optional[Set[Vertex]] = None,
+    banned_edge: Optional[EdgeId] = None,
+    banned_edges: Optional[Set[EdgeId]] = None,
+    allowed_edges: Optional[Set[EdgeId]] = None,
+    raise_on_tie: bool = True,
+) -> ShortestPathResult:
+    """Single-source shortest paths under the composite weights.
+
+    See the module docstring for the semantics of the keyword filters.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range for n={n}")
+    if banned_vertices and source in banned_vertices:
+        raise GraphError(f"source {source} is banned")
+    seeds = [(0, source, -1, -1)]
+    return _run(
+        graph,
+        weights,
+        source,
+        seeds,
+        banned_vertices=banned_vertices,
+        banned_edge=banned_edge,
+        banned_edges=banned_edges,
+        allowed_edges=allowed_edges,
+        allowed_vertices=None,
+        raise_on_tie=raise_on_tie,
+    )
+
+
+def seeded_dijkstra(
+    graph: Graph,
+    weights: WeightAssignment,
+    seeds: Iterable[Tuple[int, Vertex, Vertex, EdgeId]],
+    *,
+    allowed_vertices: Set[Vertex],
+    banned_edge: Optional[EdgeId] = None,
+    raise_on_tie: bool = True,
+) -> ShortestPathResult:
+    """Dijkstra seeded at a boundary, settling only ``allowed_vertices``.
+
+    ``seeds`` are ``(dist, vertex, parent, parent_eid)`` entries where
+    ``vertex`` lies inside ``allowed_vertices`` and ``dist`` already
+    includes the crossing-edge weight.  Used to recompute distances inside
+    the subtree hanging under a failed tree edge (see
+    :mod:`repro.spt.replacement`).
+    """
+    return _run(
+        graph,
+        weights,
+        -1,
+        list(seeds),
+        banned_vertices=None,
+        banned_edge=banned_edge,
+        banned_edges=None,
+        allowed_edges=None,
+        allowed_vertices=allowed_vertices,
+        raise_on_tie=raise_on_tie,
+    )
+
+
+def _run(
+    graph: Graph,
+    weights: WeightAssignment,
+    source: Vertex,
+    seeds: List[Tuple[int, Vertex, Vertex, EdgeId]],
+    *,
+    banned_vertices: Optional[Set[Vertex]],
+    banned_edge: Optional[EdgeId],
+    banned_edges: Optional[Set[EdgeId]],
+    allowed_edges: Optional[Set[EdgeId]],
+    allowed_vertices: Optional[Set[Vertex]],
+    raise_on_tie: bool,
+) -> ShortestPathResult:
+    n = graph.num_vertices
+    dist: List[Optional[int]] = [None] * n
+    parent = [-1] * n
+    parent_eid = [-1] * n
+    settled = [False] * n
+    w_arr = weights.weights
+
+    heap: List[Tuple[int, Vertex]] = []
+    for d0, v0, p0, pe0 in seeds:
+        if allowed_vertices is not None and v0 not in allowed_vertices:
+            raise GraphError(f"seed vertex {v0} outside the allowed set")
+        current = dist[v0]
+        if current is None or d0 < current:
+            dist[v0] = d0
+            parent[v0] = p0
+            parent_eid[v0] = pe0
+            heappush(heap, (d0, v0))
+        elif d0 == current and pe0 != parent_eid[v0]:
+            # Two equally cheap boundary entries: a genuine tie.
+            if raise_on_tie:
+                raise TieBreakError(
+                    f"equal-weight seeds for vertex {v0} (scheme={weights.scheme})"
+                )
+
+    adjacency = graph.adjacency
+    while heap:
+        d, v = heappop(heap)
+        if settled[v]:
+            continue
+        if dist[v] is not None and d > dist[v]:
+            continue  # stale entry
+        settled[v] = True
+        for w, eid in adjacency(v):
+            if eid == banned_edge:
+                continue
+            if banned_edges is not None and eid in banned_edges:
+                continue
+            if allowed_edges is not None and eid not in allowed_edges:
+                continue
+            if banned_vertices is not None and w in banned_vertices:
+                continue
+            if allowed_vertices is not None and w not in allowed_vertices:
+                continue
+            if settled[w]:
+                continue
+            cand = d + w_arr[eid]
+            dw = dist[w]
+            if dw is None or cand < dw:
+                dist[w] = cand
+                parent[w] = v
+                parent_eid[w] = eid
+                heappush(heap, (cand, w))
+            elif cand == dw and eid != parent_eid[w]:
+                # Distinct path of identical weight: uniqueness violated.
+                if raise_on_tie:
+                    raise TieBreakError(
+                        f"equal-weight paths to vertex {w} (scheme={weights.scheme})"
+                    )
+    return ShortestPathResult(
+        source=source, dist=dist, parent=parent, parent_eid=parent_eid
+    )

@@ -1,0 +1,136 @@
+"""Single-source replacement distances: ``dist(s, v, G \\ {e})`` for all pairs.
+
+For every tree edge ``e`` of ``T0`` (with deeper endpoint ``c``) only the
+vertices in the subtree under ``c`` can change distance when ``e`` fails.
+The engine therefore recomputes each failure with a Dijkstra *restricted
+to that subtree*, seeded from the crossing edges (whose outer endpoints
+keep their original distances - their shortest paths cannot enter the
+subtree).  Total work is ``O(sum over tree edges of |edges touching the
+subtree| * log)``, which is roughly ``O(m * depth(T0))`` instead of the
+naive ``O(n * m)``.
+
+The engine is lazy and memoized: failure data is computed on first use,
+so callers that only probe a few failures stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.errors import GraphError
+from repro.spt.dijkstra import seeded_dijkstra
+from repro.spt.spt_tree import ShortestPathTree
+
+__all__ = ["EdgeFailure", "ReplacementEngine"]
+
+
+@dataclass
+class EdgeFailure:
+    """Recomputed shortest-path data for a single failed tree edge.
+
+    ``dist`` maps each subtree vertex to its new composite distance
+    (``None`` if the failure disconnects it).  ``parent``/``parent_eid``
+    describe the recomputed shortest paths inside the subtree; parents of
+    boundary vertices point *outside* the subtree.
+    """
+
+    eid: EdgeId
+    child: Vertex
+    dist: Dict[Vertex, Optional[int]]
+    parent: Dict[Vertex, Vertex]
+    parent_eid: Dict[Vertex, EdgeId]
+
+
+class ReplacementEngine:
+    """Lazy per-failed-edge replacement distances over a fixed ``T0``."""
+
+    def __init__(self, tree: ShortestPathTree) -> None:
+        self.tree = tree
+        self.graph = tree.graph
+        self.weights = tree.weights
+        self._cache: Dict[EdgeId, EdgeFailure] = {}
+
+    # ------------------------------------------------------------------
+    def failure(self, eid: EdgeId) -> EdgeFailure:
+        """Failure data for tree edge ``eid`` (memoized)."""
+        data = self._cache.get(eid)
+        if data is None:
+            data = self._compute(eid)
+            self._cache[eid] = data
+        return data
+
+    def dist_after_failure(self, eid: EdgeId, v: Vertex) -> Optional[int]:
+        """``dist_W(s, v, G \\ {e})``; ``None`` when disconnected.
+
+        For vertices outside the failed subtree the original distance is
+        returned directly (their shortest path avoids ``e``).
+        """
+        tree = self.tree
+        child = tree.edge_child(eid)
+        if not tree.is_reachable(v):
+            return None
+        if tree.in_subtree(child, v):
+            return self.failure(eid).dist.get(v)
+        return tree.dist[v]
+
+    def hops_after_failure(self, eid: EdgeId, v: Vertex) -> Optional[int]:
+        """Hop count version of :meth:`dist_after_failure`."""
+        d = self.dist_after_failure(eid, v)
+        return None if d is None else self.weights.hops(d)
+
+    def precompute_all(self) -> None:
+        """Eagerly compute failure data for every tree edge."""
+        for eid in self.tree.tree_edges():
+            self.failure(eid)
+
+    # ------------------------------------------------------------------
+    def _compute(self, eid: EdgeId) -> EdgeFailure:
+        tree = self.tree
+        graph = self.graph
+        weights = self.weights
+        child = tree.edge_child(eid)
+
+        sub = tree.subtree_vertices(child)
+        sub_set = set(sub)
+        tin, tout = tree.tin[child], tree.tout[child]
+        tins = tree.tin
+        dist0 = tree.dist
+        w_arr = weights.weights
+
+        # Seeds: for every edge (a, b) crossing into the subtree, the outer
+        # endpoint a keeps dist0[a]; entering through the edge costs W(ab).
+        seeds: List[Tuple[int, Vertex, Vertex, EdgeId]] = []
+        for b in sub:
+            for a, cross_eid in graph.adjacency(b):
+                if cross_eid == eid:
+                    continue
+                ta = tins[a]
+                if tin <= ta < tout and ta != -1:
+                    continue  # internal edge
+                da = dist0[a]
+                if da is None:
+                    continue  # outer endpoint itself unreachable
+                seeds.append((da + w_arr[cross_eid], b, a, cross_eid))
+
+        if seeds:
+            sp = seeded_dijkstra(
+                graph,
+                weights,
+                seeds,
+                allowed_vertices=sub_set,
+                banned_edge=eid,
+            )
+            dist = {v: sp.dist[v] for v in sub}
+            parent = {v: sp.parent[v] for v in sub if sp.dist[v] is not None}
+            parent_eid = {
+                v: sp.parent_eid[v] for v in sub if sp.dist[v] is not None
+            }
+        else:
+            dist = {v: None for v in sub}
+            parent = {}
+            parent_eid = {}
+        return EdgeFailure(
+            eid=eid, child=child, dist=dist, parent=parent, parent_eid=parent_eid
+        )

@@ -1,0 +1,125 @@
+"""Single-source distance sensitivity oracle (the related-work substrate).
+
+The paper builds on the *single-source replacement paths* problem
+([9, 17, 20, 21] in its bibliography): preprocess ``(G, s)`` so that
+queries ``dist(s, v, G \\ {e})`` - and the corresponding replacement
+path - are answered fast.  This oracle wraps the subtree-restricted
+replacement engine behind exactly that query interface:
+
+* ``distance(v, failed_edge)`` - hop distance avoiding the failure,
+  O(1) after the failure's first query (lazy per-edge preprocessing);
+* ``replacement_path(v, failed_edge)`` - an actual shortest path in
+  ``G \\ {e}``, extracted from the engine's parent pointers;
+* failures off ``pi(s, v)`` short-circuit to the original distance.
+
+``precompute()`` turns the lazy oracle into a classic
+preprocess-then-query one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._types import EdgeId, Vertex
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.spt.replacement import ReplacementEngine
+from repro.spt.spt_tree import ShortestPathTree, build_spt
+from repro.spt.weights import make_weights
+
+__all__ = ["DistanceSensitivityOracle"]
+
+
+class DistanceSensitivityOracle:
+    """Answers ``dist(s, v, G \\ {e})`` and replacement-path queries."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        weight_scheme: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.source = source
+        self.weights = make_weights(graph, weight_scheme, seed)
+        self.tree: ShortestPathTree = build_spt(graph, self.weights, source)
+        self._engine = ReplacementEngine(self.tree)
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    def precompute(self) -> None:
+        """Eagerly prepare every possible failure (classic DSO mode)."""
+        self._engine.precompute_all()
+
+    def base_distance(self, v: Vertex) -> Optional[int]:
+        """``dist(s, v, G)`` in hops (``None`` when unreachable)."""
+        d = self.tree.dist[v]
+        return None if d is None else self.weights.hops(d)
+
+    def distance(
+        self, v: Vertex, failed_edge: Optional[EdgeId] = None
+    ) -> Optional[int]:
+        """``dist(s, v, G \\ {failed_edge})`` in hops.
+
+        ``failed_edge=None`` queries the no-failure distance.  Failures of
+        non-tree edges, or of tree edges off ``pi(s, v)``, return the
+        original distance without touching the engine.
+        """
+        self.queries_served += 1
+        if failed_edge is None:
+            return self.base_distance(v)
+        self._check_edge(failed_edge)
+        if not self.tree.is_reachable(v):
+            return None
+        if not self.tree.is_tree_edge(failed_edge):
+            return self.base_distance(v)
+        if not self.tree.edge_on_path(failed_edge, v):
+            return self.base_distance(v)
+        return self._engine.hops_after_failure(failed_edge, v)
+
+    def replacement_path(
+        self, v: Vertex, failed_edge: EdgeId
+    ) -> Optional[List[Vertex]]:
+        """A shortest ``s -> v`` path in ``G \\ {failed_edge}``.
+
+        Returns ``None`` when the failure disconnects ``v``.  For
+        unaffected targets the original tree path is returned.
+        """
+        self.queries_served += 1
+        self._check_edge(failed_edge)
+        if not self.tree.is_reachable(v):
+            raise GraphError(f"vertex {v} unreachable from source {self.source}")
+        tree = self.tree
+        if not tree.is_tree_edge(failed_edge) or not tree.edge_on_path(
+            failed_edge, v
+        ):
+            return tree.path_vertices(v)
+        data = self._engine.failure(failed_edge)
+        if data.dist.get(v) is None:
+            return None
+        # Walk parent pointers: inside the failed subtree use the
+        # recomputed parents, outside fall back to T0.
+        path = [v]
+        cur = v
+        guard = self.graph.num_vertices + 1
+        while cur != self.source:
+            cur = data.parent[cur] if cur in data.parent else tree.parent[cur]
+            path.append(cur)
+            guard -= 1
+            if guard == 0:  # pragma: no cover - defensive
+                raise GraphError("replacement path extraction cycled")
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    def _check_edge(self, eid: EdgeId) -> None:
+        if not 0 <= eid < self.graph.num_edges:
+            raise GraphError(f"edge id {eid} out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DistanceSensitivityOracle(n={self.graph.num_vertices}, "
+            f"m={self.graph.num_edges}, source={self.source})"
+        )

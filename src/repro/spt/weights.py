@@ -1,0 +1,137 @@
+"""Tie-breaking weight assignments ``W`` making shortest paths unique.
+
+The paper (Section 2) assumes a positive weight assignment ``W`` chosen so
+that the weighted shortest path between any pair of vertices is *unique in
+every subgraph* ``G' of G``, and uses it purely to break hop-count ties
+consistently.  We realize this with composite integer weights
+
+``W(e) = BIG + pert(e)``            with ``sum of perturbations < BIG``,
+
+so that comparing path weights compares ``(hop count, perturbation sum)``
+lexicographically.  Two schemes are provided:
+
+* ``exact``  - ``pert(e) = 2**e``.  Simple paths have distinct edge sets,
+  so their perturbation sums (subset sums of distinct powers of two) are
+  distinct: shortest paths are *provably* unique in every subgraph.  The
+  weights are big Python ints of ~m bits; ideal for small/medium graphs
+  (tests, examples) and still perfectly usable for the benchmark sizes.
+* ``random`` - ``pert(e)`` drawn uniformly from ``[1, 2**44)``.  Constant
+  size, much faster on large graphs; uniqueness holds with overwhelming
+  probability (isolation lemma).  The Dijkstra engine *detects* ties at
+  relaxation time and raises :class:`repro.errors.TieBreakError` so the
+  caller can reseed - uniqueness failures are loud, never silent.
+
+``hops(weight)`` recovers the hop count as ``weight >> shift``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+
+__all__ = ["WeightAssignment", "make_weights", "EXACT", "RANDOM", "AUTO"]
+
+EXACT = "exact"
+RANDOM = "random"
+AUTO = "auto"
+
+#: Above this edge count, ``auto`` switches from exact to random weights.
+_AUTO_EXACT_LIMIT = 20_000
+
+_RANDOM_PERT_BITS = 44
+_RANDOM_SHIFT = 63  # BIG = 2**63: supports paths of ~2**19 hops safely.
+
+
+@dataclass(frozen=True)
+class WeightAssignment:
+    """Per-edge composite weights.  Index with an edge id.
+
+    Attributes
+    ----------
+    weights:
+        ``weights[eid]`` is the integer weight ``BIG + pert(eid)``.
+    shift:
+        ``BIG = 1 << shift``; ``hops(x) = x >> shift``.
+    scheme:
+        ``"exact"`` or ``"random"``.
+    seed:
+        Seed used for the random scheme (0 for exact).
+    """
+
+    weights: Sequence[int]
+    shift: int
+    scheme: str
+    seed: int = 0
+
+    @property
+    def big(self) -> int:
+        """The hop unit ``BIG``."""
+        return 1 << self.shift
+
+    def hops(self, weight: int) -> int:
+        """Extract the hop count encoded in a path weight."""
+        return weight >> self.shift
+
+    def perturbation(self, weight: int) -> int:
+        """Extract the perturbation sum encoded in a path weight."""
+        return weight & (self.big - 1)
+
+    def path_weight(self, edge_ids: Sequence[int]) -> int:
+        """Total weight of a path given as edge ids."""
+        w = self.weights
+        return sum(w[e] for e in edge_ids)
+
+    def __getitem__(self, eid: int) -> int:
+        return self.weights[eid]
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def reseeded(self, new_seed: int) -> "WeightAssignment":
+        """Return a random-scheme assignment with a fresh seed.
+
+        Only meaningful for the random scheme; the exact scheme is
+        deterministic and cannot be reseeded.
+        """
+        if self.scheme != RANDOM:
+            raise ParameterError("only random weight assignments can be reseeded")
+        return _make_random(len(self.weights), new_seed)
+
+
+def make_weights(graph: Graph, scheme: str = AUTO, seed: int = 0) -> WeightAssignment:
+    """Create a :class:`WeightAssignment` for ``graph``.
+
+    ``scheme`` is ``"exact"``, ``"random"`` or ``"auto"`` (exact for small
+    graphs, random above ``20000`` edges).
+    """
+    m = graph.num_edges
+    if scheme == AUTO:
+        scheme = EXACT if m <= _AUTO_EXACT_LIMIT else RANDOM
+    if scheme == EXACT:
+        return _make_exact(m)
+    if scheme == RANDOM:
+        return _make_random(m, seed)
+    raise ParameterError(f"unknown weight scheme {scheme!r}")
+
+
+def _make_exact(m: int) -> WeightAssignment:
+    # Perturbation sum over any simple path is < 2**m, so BIG = 2**(m+1)
+    # guarantees hop counts dominate.  A couple of guard bits cost nothing.
+    shift = m + 2
+    big = 1 << shift
+    weights: List[int] = [big + (1 << e) for e in range(m)]
+    return WeightAssignment(weights=weights, shift=shift, scheme=EXACT, seed=0)
+
+
+def _make_random(m: int, seed: int) -> WeightAssignment:
+    rng = random.Random(seed ^ 0xD1F7_55AA_C0FF_EE00)
+    big = 1 << _RANDOM_SHIFT
+    top = 1 << _RANDOM_PERT_BITS
+    weights = [big + rng.randrange(1, top) for _ in range(m)]
+    return WeightAssignment(
+        weights=weights, shift=_RANDOM_SHIFT, scheme=RANDOM, seed=seed
+    )

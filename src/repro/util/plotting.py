@@ -1,0 +1,111 @@
+"""Terminal plotting: bar charts and log-log scatter sketches.
+
+The examples and reports render small ASCII visuals so the tradeoff
+shapes are visible without matplotlib (which this library deliberately
+does not depend on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_bars", "ascii_loglog", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def ascii_bars(
+    labels: Sequence[object],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart; one line per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty chart)"
+    peak = max(values)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak <= 0 else round(width * value / peak)
+        bar = fill * max(bar_len, 1 if value > 0 else 0)
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line intensity sketch of a series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        t = 0.0 if span == 0 else (v - lo) / span
+        chars.append(_SPARK_LEVELS[round(t * (len(_SPARK_LEVELS) - 1))])
+    return "".join(chars)
+
+
+def ascii_loglog(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    rows: int = 12,
+    cols: int = 50,
+    marker: str = "o",
+    reference_exponent: Optional[float] = None,
+) -> str:
+    """A log-log scatter sketch, optionally with a reference slope line.
+
+    The reference line (marker ``.``) is anchored at the first point, so
+    eyeballing whether measured growth beats the reference is immediate.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log plot requires positive data")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    lx = [math.log10(x) for x in xs]
+    ly = [math.log10(y) for y in ys]
+    ref_points: List[Tuple[float, float]] = []
+    if reference_exponent is not None:
+        x0, y0 = lx[0], ly[0]
+        for i in range(cols):
+            t = lx[0] + (max(lx) - lx[0]) * i / max(cols - 1, 1)
+            ref_points.append((t, y0 + reference_exponent * (t - x0)))
+    all_y = ly + [y for _, y in ref_points]
+    x_lo, x_hi = min(lx), max(lx)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * cols for _ in range(rows)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        c = round((x - x_lo) / x_span * (cols - 1))
+        r = rows - 1 - round((y - y_lo) / y_span * (rows - 1))
+        if grid[r][c] == " " or ch == marker:
+            grid[r][c] = ch
+
+    for x, y in ref_points:
+        put(x, y, ".")
+    for x, y in zip(lx, ly):
+        put(x, y, marker)
+    lines = ["+" + "-" * cols + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * cols + "+")
+    lines.append(
+        f" x: 10^{x_lo:.2f}..10^{x_hi:.2f}   y: 10^{y_lo:.2f}..10^{y_hi:.2f}"
+        + (
+            f"   ref slope {reference_exponent:g} (dots)"
+            if reference_exponent is not None
+            else ""
+        )
+    )
+    return "\n".join(lines)

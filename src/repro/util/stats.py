@@ -1,0 +1,110 @@
+"""Statistics helpers: summary statistics and log-log exponent fitting.
+
+The benchmark harness checks *shape* claims of the paper (growth
+exponents such as ``n^{3/2}`` or ``n^{1+eps}``) by fitting a straight
+line to ``(log n, log size)`` pairs; :func:`fit_loglog` implements the
+least-squares fit and reports the exponent, the multiplicative constant
+and the coefficient of determination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LogLogFit", "fit_loglog", "SummaryStats", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Result of fitting ``y ~ constant * x**exponent``."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+    num_points: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted power law at ``x``."""
+        return self.constant * float(x) ** self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"y ~ {self.constant:.3g} * x^{self.exponent:.3f} "
+            f"(R^2={self.r_squared:.4f}, {self.num_points} pts)"
+        )
+
+
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> LogLogFit:
+    """Fit a power law ``y = c * x**a`` by least squares in log-log space.
+
+    Raises ``ValueError`` on fewer than two points or non-positive data,
+    since a power-law fit is meaningless there.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a power-law fit")
+    x_arr = np.asarray(xs, dtype=float)
+    y_arr = np.asarray(ys, dtype=float)
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise ValueError("power-law fit requires strictly positive data")
+    lx = np.log(x_arr)
+    ly = np.log(y_arr)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - np.mean(ly)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LogLogFit(
+        exponent=float(slope),
+        constant=float(math.exp(intercept)),
+        r_squared=r_squared,
+        num_points=len(xs),
+    )
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3g} std={self.std:.3g} "
+            f"min={self.minimum:.3g} med={self.median:.3g} max={self.maximum:.3g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for a non-empty sample."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))

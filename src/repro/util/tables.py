@@ -1,0 +1,85 @@
+"""ASCII table rendering for experiment reports.
+
+The benchmark harness prints paper-style tables to stdout and writes the
+same content into ``bench_artifacts/``; this module owns the formatting so
+all experiments share a consistent look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "render_table", "format_float"]
+
+
+def format_float(value: object, digits: int = 4) -> str:
+    """Format a cell value compactly (floats get ``digits`` significant digits)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table builder."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; values are formatted via :func:`format_float`."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_float(cell) for cell in cells])
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        return render_table(self.title, self.columns, self.rows, self.notes)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render rows of pre-formatted strings as an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(columns)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    for note in notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)

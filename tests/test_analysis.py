@@ -1,0 +1,134 @@
+"""Tests for the Phase-S2 analysis module (Lemmas 4.13-4.21 measured)."""
+
+import pytest
+
+from repro.core import (
+    analyze_phase_s2,
+    build_epsilon_ftbfs_traced,
+    greedy_independent_segments,
+)
+from repro.core.analysis import SigmaSegment
+from repro.graphs import connected_gnp_graph
+from repro.lower_bounds import build_theorem51
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    lb = build_theorem51(200, 0.2, d=20, k=2, x_size=5)
+    structure, trace = build_epsilon_ftbfs_traced(lb.graph, lb.source, 0.2)
+    return lb, structure, trace
+
+
+class TestGreedyIndependentSegments:
+    def test_empty(self):
+        assert greedy_independent_segments([]) == []
+
+    def test_single(self):
+        seg = SigmaSegment(v=1, top_depth=2, bottom_depth=7)
+        assert greedy_independent_segments([seg]) == [seg]
+
+    def test_far_apart_all_kept(self):
+        segs = [
+            SigmaSegment(v=1, top_depth=0, bottom_depth=2),
+            SigmaSegment(v=2, top_depth=10, bottom_depth=12),
+            SigmaSegment(v=3, top_depth=20, bottom_depth=22),
+        ]
+        assert len(greedy_independent_segments(segs)) == 3
+
+    def test_overlapping_pruned(self):
+        segs = [
+            SigmaSegment(v=1, top_depth=0, bottom_depth=10),
+            SigmaSegment(v=2, top_depth=5, bottom_depth=14),
+        ]
+        chosen = greedy_independent_segments(segs)
+        assert len(chosen) == 1
+        assert chosen[0].length == 10  # longest wins
+
+    def test_gap_rule_definition_416(self):
+        a = SigmaSegment(v=1, top_depth=0, bottom_depth=4)  # length 4
+        near = SigmaSegment(v=2, top_depth=6, bottom_depth=9)  # gap 2 < 4
+        far = SigmaSegment(v=3, top_depth=9, bottom_depth=12)  # gap 5 >= 4
+        assert len(greedy_independent_segments([a, near])) == 1
+        assert len(greedy_independent_segments([a, far])) == 2
+
+    def test_chosen_pairwise_independent(self):
+        import random
+
+        rng = random.Random(0)
+        segs = []
+        for v in range(30):
+            top = rng.randrange(0, 200)
+            segs.append(
+                SigmaSegment(v=v, top_depth=top, bottom_depth=top + rng.randrange(1, 15))
+            )
+        chosen = greedy_independent_segments(segs)
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1 :]:
+                first, second = (a, b) if a.top_depth <= b.top_depth else (b, a)
+                assert second.top_depth - first.bottom_depth >= max(
+                    a.length, b.length
+                )
+
+
+class TestAnalyzePhaseS2:
+    def test_degenerate_regimes_empty(self):
+        g = connected_gnp_graph(25, 0.2, seed=1)
+        structure, trace = build_epsilon_ftbfs_traced(g, 0, 1.0)
+        assert analyze_phase_s2(structure, trace) == []
+        structure, trace = build_epsilon_ftbfs_traced(g, 0, 0.0)
+        assert analyze_phase_s2(structure, trace) == []
+
+    def test_analysis_structure(self, traced_run):
+        lb, structure, trace = traced_run
+        analyses = analyze_phase_s2(structure, trace)
+        assert len(analyses) == len(trace.sim_sets)
+        for analysis in analyses:
+            for pma in analysis.per_path:
+                assert pma.segments
+                assert pma.independent
+                assert len(pma.independent) <= len(pma.segments)
+
+    def test_miss_accounting_matches_reinforced(self, traced_run):
+        """Total misses across sim sets cover the reinforced set."""
+        lb, structure, trace = traced_run
+        analyses = analyze_phase_s2(structure, trace)
+        miss_union = set()
+        for analysis in analyses:
+            for pma in analysis.per_path:
+                miss_union |= pma.miss_edges
+        # every analyzed miss edge is indeed reinforced
+        assert miss_union <= set(structure.reinforced)
+
+    def test_lemma_414_detour_length(self, traced_run):
+        """|D(P)| >= |sigma| / 4 for missing pairs (Lemma 4.14)."""
+        lb, structure, trace = traced_run
+        analyses = analyze_phase_s2(structure, trace)
+        checked = 0
+        for analysis in analyses:
+            for pma in analysis.per_path:
+                if pma.min_detour_sigma_ratio is not None:
+                    assert pma.min_detour_sigma_ratio >= 0.25 - 1e-9
+                    checked += 1
+        assert checked > 0, "expected at least one miss to analyze"
+
+    def test_claim_418_independent_coverage(self, traced_run):
+        """sum |sigma_IS| >= |E_miss(P, psi)| / 5 (Claim 4.18)."""
+        lb, structure, trace = traced_run
+        analyses = analyze_phase_s2(structure, trace)
+        checked = 0
+        for analysis in analyses:
+            for pma in analysis.per_path:
+                if pma.miss_edges:
+                    assert pma.independent_coverage >= 1 / 5 - 1e-9
+                    checked += 1
+        assert checked > 0
+
+    def test_lemma_421_detour_volume(self, traced_run):
+        """Detour volume >= n_eps/4 * |E_miss(P, psi)| (Lemmas 4.19-4.21)."""
+        lb, structure, trace = traced_run
+        analyses = analyze_phase_s2(structure, trace)
+        n_eps = trace.n_eps
+        for analysis in analyses:
+            for pma in analysis.per_path:
+                if pma.miss_edges:
+                    assert pma.detour_volume >= (n_eps / 4) * len(pma.miss_edges) / 5

@@ -1,0 +1,141 @@
+"""Tests for the deterministic graph builders."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    barbell_graph,
+    binary_tree_graph,
+    broom_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    from_edge_list,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    is_tree,
+    join_with_edges,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestBasicFamilies:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert is_tree(g)
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.degree(0) == 7
+        assert is_tree(g)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert g.degree(0) == 4 and g.degree(3) == 3
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert is_connected(g)
+
+    def test_torus_regular(self):
+        g = torus_graph(4, 5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.num_edges == 4 * 16 // 2
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.num_vertices == 15
+        assert is_tree(g)
+
+
+class TestCompositeFamilies:
+    def test_broom(self):
+        g = broom_graph(5, 7)
+        assert g.num_vertices == 13
+        assert is_tree(g)
+        assert g.degree(5) == 8  # star center: 1 path edge + 7 bristles
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 4)
+        assert g.num_vertices == 9
+        assert is_connected(g)
+        assert g.degree(8) == 1  # tail end
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        assert is_connected(g)
+        # two cliques of 4 plus 2 interior bridge vertices
+        assert g.num_vertices == 4 + 2 + 4
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.num_vertices == 4 + 8
+        assert is_tree(g)
+
+
+class TestComposition:
+    def test_from_edge_list_infers_n(self):
+        g = from_edge_list([(0, 3), (1, 2)])
+        assert g.num_vertices == 4
+
+    def test_disjoint_union(self):
+        g, offsets = disjoint_union([path_graph(3), cycle_graph(3)])
+        assert g.num_vertices == 6
+        assert g.num_edges == 2 + 3
+        assert offsets == [0, 3]
+        assert not is_connected(g)
+
+    def test_join_with_edges(self):
+        g, offsets = join_with_edges(
+            [path_graph(3), path_graph(3)], [((0, 2), (1, 0))]
+        )
+        assert is_connected(g)
+        assert g.has_edge(2, 3)
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip(self):
+        import networkx as nx
+
+        from repro.graphs import from_networkx, to_networkx
+
+        g = grid_graph(3, 3)
+        nx_g = to_networkx(g)
+        assert isinstance(nx_g, nx.Graph)
+        back = from_networkx(nx_g)
+        assert back == g

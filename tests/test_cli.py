@@ -1,0 +1,61 @@
+"""Tests for the CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+
+    def test_version(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "usage" in out.lower()
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "gnp" in out
+
+
+class TestQuickstart:
+    def test_runs(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+
+
+class TestBuild:
+    def test_build_and_verify(self, capsys):
+        rc = main(["build", "--workload", "gnp", "--n", "40", "--epsilon", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+
+    def test_build_no_verify(self, capsys):
+        rc = main(["build", "--workload", "grid", "--no-verify"])
+        assert rc == 0
+        assert "verified" not in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        rc = main(["run", "E2", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[E2]" in out and "elapsed" in out
+
+    def test_run_save(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["run", "E2", "--quick", "--save"])
+        assert rc == 0
+        assert (tmp_path / "bench_artifacts" / "E2.json").exists()

@@ -1,0 +1,103 @@
+"""Tests for the cost model and epsilon optimization."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    build_epsilon_ftbfs,
+    optimal_epsilon_theory,
+    optimize_epsilon,
+)
+from repro.errors import ParameterError
+from repro.graphs import connected_gnp_graph
+from repro.lower_bounds import build_theorem51
+
+
+class TestCostModel:
+    def test_ratio(self):
+        assert CostModel(backup=2.0, reinforce=10.0).ratio == 5.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            CostModel(backup=0.0, reinforce=1.0)
+        with pytest.raises(ParameterError):
+            CostModel(backup=1.0, reinforce=-1.0)
+
+    def test_of_structure(self):
+        g = connected_gnp_graph(25, 0.2, seed=1)
+        s = build_epsilon_ftbfs(g, 0, 0.3)
+        model = CostModel(backup=1.0, reinforce=7.0)
+        assert model.of(s) == s.num_backup + 7.0 * s.num_reinforced
+
+    def test_structure_cost_rejects_negative(self):
+        g = connected_gnp_graph(25, 0.2, seed=1)
+        s = build_epsilon_ftbfs(g, 0, 0.3)
+        with pytest.raises(ParameterError):
+            s.cost(-1.0, 1.0)
+
+
+class TestTheoryEpsilon:
+    def test_equal_costs_give_zero(self):
+        assert optimal_epsilon_theory(100, CostModel(1.0, 1.0)) == 0.0
+
+    def test_monotone_in_ratio(self):
+        n = 1000
+        values = [
+            optimal_epsilon_theory(n, CostModel(1.0, r))
+            for r in (1.0, 10.0, 100.0, 1e6)
+        ]
+        assert values == sorted(values)
+
+    def test_clamped_to_one(self):
+        assert optimal_epsilon_theory(10, CostModel(1.0, 1e30)) == 1.0
+
+    def test_balances_terms(self):
+        """At eps*, n^(1+eps) B equals n^(1-eps) R by construction."""
+        n, ratio = 500, 50.0
+        eps = optimal_epsilon_theory(n, CostModel(1.0, ratio))
+        lhs = n ** (1 + eps) * 1.0
+        rhs = n ** (1 - eps) * ratio
+        assert abs(math.log(lhs) - math.log(rhs)) < 1e-9
+
+    def test_tiny_n(self):
+        assert optimal_epsilon_theory(1, CostModel(1.0, 10.0)) == 0.0
+
+
+class TestOptimizeEpsilon:
+    @pytest.fixture(scope="class")
+    def gadget(self):
+        lb = build_theorem51(120, 0.2, d=14, k=2, x_size=4)
+        return lb.graph, lb.source
+
+    def test_returns_minimum_of_curve(self, gadget):
+        g, src = gadget
+        model = CostModel(backup=1.0, reinforce=5.0)
+        best, curve = optimize_epsilon(g, src, model, epsilons=[0.0, 0.2, 0.5, 1.0])
+        assert min(p.cost for p in curve) == model.of(best)
+
+    def test_curve_length(self, gadget):
+        g, src = gadget
+        model = CostModel(1.0, 2.0)
+        _, curve = optimize_epsilon(g, src, model, epsilons=[0.1, 0.3])
+        assert [p.epsilon for p in curve] == [0.1, 0.3]
+
+    def test_empty_sweep_rejected(self, gadget):
+        g, src = gadget
+        with pytest.raises(ParameterError):
+            optimize_epsilon(g, src, CostModel(1.0, 2.0), epsilons=[])
+
+    def test_expensive_reinforcement_prefers_backup(self, gadget):
+        """Huge R should never pick the fully reinforced endpoint."""
+        g, src = gadget
+        model = CostModel(backup=1.0, reinforce=1e6)
+        best, _ = optimize_epsilon(g, src, model, epsilons=[0.0, 0.5, 1.0])
+        assert best.epsilon > 0.0
+
+    def test_cheap_reinforcement_prefers_tree(self, gadget):
+        """R = B: the reinforced BFS tree (n-1 edges) is unbeatable."""
+        g, src = gadget
+        model = CostModel(backup=1.0, reinforce=1.0)
+        best, _ = optimize_epsilon(g, src, model, epsilons=[0.0, 0.5, 1.0])
+        assert best.epsilon == 0.0

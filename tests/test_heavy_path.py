@@ -1,0 +1,193 @@
+"""Tests for the heavy-path tree decomposition (Fact 3.3 / Fact 4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    binary_tree_graph,
+    broom_graph,
+    caterpillar_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.decomposition.heavy_path import heavy_path_decomposition
+from repro.spt.spt_tree import build_spt
+from repro.spt.weights import EXACT, make_weights
+
+from tests.conftest import graph_with_source
+
+
+def decompose(graph, source=0):
+    tree = build_spt(graph, make_weights(graph, EXACT), source)
+    return tree, heavy_path_decomposition(tree)
+
+
+class TestStructure:
+    def test_path_graph_single_path(self):
+        tree, td = decompose(path_graph(8))
+        assert len(td.paths) == 1
+        assert td.paths[0].vertices == list(range(8))
+        assert td.glue_edges == set()
+
+    def test_star_graph(self):
+        tree, td = decompose(star_graph(6))
+        # one spine (center + one leaf) + 4 singleton paths
+        assert len(td.paths) == 5
+        assert len(td.glue_edges) == 4
+
+    def test_vertex_disjoint_paths(self, medium_random):
+        tree, td = decompose(medium_random)
+        seen = set()
+        for path in td.paths:
+            for v in path.vertices:
+                assert v not in seen
+                seen.add(v)
+        assert len(seen) == tree.num_reachable
+
+    def test_partition_of_tree_edges(self, medium_random):
+        tree, td = decompose(medium_random)
+        assert td.path_edges | td.glue_edges == tree.tree_edge_set()
+        assert td.path_edges & td.glue_edges == set()
+
+    def test_path_edges_belong_to_path_vertices(self, medium_random):
+        tree, td = decompose(medium_random)
+        for path in td.paths:
+            assert len(path.edge_ids) == len(path.vertices) - 1
+            for u, eid in zip(path.vertices[1:], path.edge_ids):
+                assert tree.parent_eid[u] == eid
+
+    def test_paths_descend(self, medium_random):
+        tree, td = decompose(medium_random)
+        for path in td.paths:
+            for a, b in zip(path.vertices, path.vertices[1:]):
+                assert tree.parent[b] == a
+
+
+class TestFact33:
+    """Each hanging subtree has at most half the current subtree size."""
+
+    @pytest.mark.parametrize(
+        "graph_fn",
+        [
+            lambda: gnp_random_graph(60, 0.08, seed=1),
+            lambda: grid_graph(7, 7),
+            lambda: binary_tree_graph(5),
+            lambda: caterpillar_graph(10, 3),
+        ],
+    )
+    def test_halving(self, graph_fn):
+        tree, td = decompose(graph_fn())
+        # For each path at level l, hanging subtrees recurse at level l+1
+        # and must have size <= (size of path's own subtree) / 2.
+        for path in td.paths:
+            top = path.top
+            current = tree.subtree_size(top)
+            on_path = set(path.vertices)
+            for u in path.vertices:
+                for c in tree.children[u]:
+                    if c not in on_path:
+                        assert tree.subtree_size(c) <= current / 2
+
+    def test_levels_logarithmic(self):
+        for side in (5, 8, 12):
+            g = grid_graph(side, side)
+            tree, td = decompose(g)
+            n = g.num_vertices
+            assert td.num_levels <= math.floor(math.log2(n)) + 1
+
+
+class TestFact41:
+    """O(log n) glue edges and path intersections per root path."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_glue_edges_on_root_paths(self, seed):
+        g = gnp_random_graph(80, 0.06, seed=seed)
+        tree, td = decompose(g)
+        n = g.num_vertices
+        bound = math.floor(math.log2(n)) + 1
+        for v in tree.preorder:
+            glue = td.glue_edges_on_root_path(v)
+            assert len(glue) <= bound
+            for eid in glue:
+                assert eid in td.glue_edges
+                assert tree.edge_on_path(eid, v)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_paths_intersecting_root_path(self, seed):
+        g = gnp_random_graph(80, 0.06, seed=seed)
+        tree, td = decompose(g)
+        bound = math.floor(math.log2(g.num_vertices)) + 1
+        for v in tree.preorder:
+            paths = td.paths_intersecting_root_path(v)
+            assert len(paths) <= bound
+            # levels strictly increase walking down
+            levels = [p.level for p in paths]
+            assert levels == sorted(levels)
+            assert len(set(p.index for p in paths)) == len(paths)
+
+    def test_broom_intersections(self):
+        """Deep handle + wide head: every leaf's root path crosses the spine."""
+        g = broom_graph(20, 15)
+        tree, td = decompose(g)
+        for leaf in range(21, 21 + 15):
+            paths = td.paths_intersecting_root_path(leaf)
+            assert 1 <= len(paths) <= 2
+
+
+class TestRootPathIntersection:
+    def test_intersection_on_own_path(self, medium_random):
+        tree, td = decompose(medium_random)
+        for v in tree.preorder:
+            own = td.path_containing(v)
+            inter = td.root_path_intersection(own, v)
+            assert inter is not None
+            top, bottom = inter
+            assert top == own.top
+            # the intersection bottom is the deepest own-path ancestor of v
+            assert tree.is_ancestor(bottom, v)
+
+    def test_disjoint_path_returns_none(self):
+        tree, td = decompose(star_graph(6))
+        # a singleton leaf path does not intersect another leaf's root path
+        leaf_paths = [p for p in td.paths if len(p.vertices) == 1]
+        assert leaf_paths
+        other_leaf = None
+        for v in range(1, 6):
+            if v != leaf_paths[0].top:
+                other_leaf = v
+                break
+        assert td.root_path_intersection(leaf_paths[0], other_leaf) is None
+
+    def test_intersection_is_common_subpath(self, medium_random):
+        tree, td = decompose(medium_random)
+        for v in tree.preorder:
+            if v == tree.source:
+                continue
+            root_path = set(tree.path_vertices(v))
+            for psi in td.paths:
+                inter = td.root_path_intersection(psi, v)
+                expected = [u for u in psi.vertices if u in root_path]
+                if inter is None:
+                    assert expected == []
+                else:
+                    top, bottom = inter
+                    # expected is the contiguous chunk from top to bottom
+                    assert expected[0] == top
+                    assert expected[-1] == bottom
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph_with_source(max_vertices=30))
+def test_decomposition_invariants_random(pair):
+    g, source = pair
+    tree, td = decompose(g, source)
+    # paths partition reachable vertices
+    count = sum(len(p.vertices) for p in td.paths)
+    assert count == tree.num_reachable
+    # every tree edge is a path edge xor glue edge
+    assert td.path_edges | td.glue_edges == tree.tree_edge_set()
+    assert not (td.path_edges & td.glue_edges)

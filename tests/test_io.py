@@ -1,0 +1,75 @@
+"""Tests for structure/graph serialization."""
+
+import json
+
+import pytest
+
+from repro.core import build_epsilon_ftbfs, verify_structure
+from repro.errors import ReproError
+from repro.graphs import Graph, connected_gnp_graph, grid_graph
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    structure_from_dict,
+    structure_from_json,
+    structure_to_dict,
+    structure_to_json,
+)
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip(self):
+        g = grid_graph(4, 5)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_name_preserved(self):
+        g = Graph(3, [(0, 1)], name="tiny")
+        assert graph_from_dict(graph_to_dict(g)).name == "tiny"
+
+    def test_malformed_payload(self):
+        with pytest.raises(ReproError):
+            graph_from_dict({"edges": [[0, 1]]})  # missing num_vertices
+
+
+class TestStructureRoundtrip:
+    @pytest.fixture(scope="class")
+    def structure(self):
+        g = connected_gnp_graph(35, 0.15, seed=6)
+        return build_epsilon_ftbfs(g, 0, 0.25)
+
+    def test_dict_roundtrip_preserves_sets(self, structure):
+        graph, back = structure_from_dict(structure_to_dict(structure))
+        assert graph == structure.graph
+        orig_edges = {structure.graph.endpoints(e) for e in structure.edges}
+        back_edges = {graph.endpoints(e) for e in back.edges}
+        assert orig_edges == back_edges
+        assert back.num_reinforced == structure.num_reinforced
+        assert back.epsilon == structure.epsilon
+        assert back.source == structure.source
+
+    def test_json_roundtrip_verifies(self, structure):
+        payload = structure_to_json(structure, indent=2)
+        graph, back = structure_from_json(payload)
+        assert verify_structure(back).ok
+
+    def test_json_is_valid_and_stable(self, structure):
+        a = structure_to_json(structure)
+        b = structure_to_json(structure)
+        assert a == b
+        parsed = json.loads(a)
+        assert parsed["format_version"] == 1
+
+    def test_bad_json(self):
+        with pytest.raises(ReproError):
+            structure_from_json("{not json")
+
+    def test_wrong_version(self, structure):
+        data = structure_to_dict(structure)
+        data["format_version"] = 99
+        with pytest.raises(ReproError):
+            structure_from_dict(data)
+
+    def test_edges_stored_as_endpoints(self, structure):
+        data = structure_to_dict(structure)
+        for u, v in data["structure_edges"]:
+            assert structure.graph.has_edge(u, v)

@@ -1,0 +1,68 @@
+"""Tests for multi-source FT-MBFS structures."""
+
+import pytest
+
+from repro.core import build_ft_mbfs, verify_subgraph
+from repro.errors import ParameterError
+from repro.graphs import connected_gnp_graph, grid_graph
+from repro.lower_bounds import build_theorem54
+
+
+class TestConstruction:
+    def test_requires_sources(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ParameterError):
+            build_ft_mbfs(g, [], 0.3)
+
+    def test_duplicate_sources_deduped(self):
+        g = grid_graph(4, 4)
+        s = build_ft_mbfs(g, [0, 0, 5, 5], 0.3)
+        assert s.sources == (0, 5)
+        assert len(s.per_source) == 2
+
+    def test_union_of_per_source(self):
+        g = connected_gnp_graph(30, 0.15, seed=1)
+        s = build_ft_mbfs(g, [0, 7, 13], 0.3)
+        union_edges = set()
+        union_reinf = set()
+        for sub in s.per_source.values():
+            union_edges |= sub.edges
+            union_reinf |= sub.reinforced
+        assert s.edges == frozenset(union_edges)
+        assert s.reinforced == frozenset(union_reinf)
+
+    def test_counts(self):
+        g = connected_gnp_graph(30, 0.15, seed=2)
+        s = build_ft_mbfs(g, [0, 9], 0.25)
+        assert s.num_edges == s.num_backup + s.num_reinforced
+        assert s.cost(1.0, 10.0) == s.num_backup + 10.0 * s.num_reinforced
+
+
+class TestCorrectness:
+    """Each source's distances survive every non-reinforced failure."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_source_verifies(self, seed):
+        g = connected_gnp_graph(28, 0.18, seed=seed)
+        sources = [0, 5, 11]
+        s = build_ft_mbfs(g, sources, 0.3)
+        for src in sources:
+            report = verify_subgraph(g, src, s.edges, s.reinforced)
+            report.raise_if_failed()
+
+    def test_gadget_theorem54(self):
+        lb = build_theorem54(200, 0.3, 2)
+        s = build_ft_mbfs(lb.graph, lb.sources, 0.3)
+        for src in lb.sources:
+            verify_subgraph(lb.graph, src, s.edges, s.reinforced).raise_if_failed()
+
+    def test_mbfs_at_least_as_big_as_single(self):
+        g = connected_gnp_graph(30, 0.15, seed=5)
+        single = build_ft_mbfs(g, [0], 0.3)
+        multi = build_ft_mbfs(g, [0, 8, 16], 0.3)
+        assert multi.num_edges >= single.num_edges
+
+    def test_summary_mentions_sources(self):
+        g = grid_graph(4, 4)
+        s = build_ft_mbfs(g, [0, 15], 0.3)
+        assert "|S|=2" in s.summary()

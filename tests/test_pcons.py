@@ -1,0 +1,269 @@
+"""Tests for Algorithm Pcons: the paper's Claims 4.3-4.6 made executable."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    to_networkx,
+)
+from repro.core.pcons import run_pcons
+
+from tests.conftest import graph_with_source, random_connected_instance
+
+
+class TestPairEnumeration:
+    def test_pair_count_is_sum_of_depths(self):
+        g = grid_graph(3, 3)
+        pc = run_pcons(g, 0)
+        expected = sum(pc.tree.depth[v] for v in g.vertices() if pc.tree.depth[v] > 0)
+        assert len(pc.pairs) == expected
+
+    def test_every_pair_edge_on_path(self):
+        g = gnp_random_graph(20, 0.2, seed=1)
+        pc = run_pcons(g, 0)
+        for rec in pc.pairs:
+            assert pc.tree.edge_on_path(rec.eid, rec.v)
+            assert rec.edge_depth == pc.tree.edge_depth(rec.eid)
+            assert rec.dist_to_v == pc.tree.depth[rec.v] - rec.edge_depth
+
+    def test_lookup(self):
+        g = cycle_graph(6)
+        pc = run_pcons(g, 0)
+        rec = pc.pairs.get(3, pc.tree.parent_eid[3])
+        assert rec is not None and rec.v == 3
+
+    def test_stats_partition(self):
+        g = gnp_random_graph(30, 0.15, seed=2)
+        pc = run_pcons(g, 0)
+        s = pc.stats
+        assert s.num_pairs == s.num_covered + s.num_uncovered + s.num_disconnected
+        assert s.num_pairs == len(pc.pairs)
+
+
+class TestReplacementDistance:
+    """Lemma 4.3: the Pcons path is a true replacement path."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_distances_match_networkx(self, seed):
+        g = gnp_random_graph(18, 0.25, seed=seed)
+        pc = run_pcons(g, 0)
+        nx_g = to_networkx(g)
+        for rec in pc.pairs:
+            u, v = g.endpoints(rec.eid)
+            sub = nx_g.copy()
+            sub.remove_edge(u, v)
+            try:
+                expected = nx.shortest_path_length(sub, 0, rec.v)
+            except nx.NetworkXNoPath:
+                expected = None
+            if expected is None:
+                assert rec.disconnected
+            else:
+                assert pc.weights.hops(rec.new_dist) == expected
+
+
+class TestCoveredPairs:
+    def test_covered_last_edge_in_tree(self):
+        g = gnp_random_graph(25, 0.25, seed=4)
+        pc = run_pcons(g, 0)
+        covered = [r for r in pc.pairs if r.covered]
+        assert covered, "expected at least one covered pair on a dense graph"
+        for rec in covered:
+            assert pc.tree.is_tree_edge(rec.last_eid)
+            assert rec.v in pc.graph.endpoints(rec.last_eid)
+
+    def test_covered_definition_via_bruteforce(self):
+        """Covered <=> some replacement path's last edge is a tree edge
+        incident to v achieving the replacement distance."""
+        for seed in range(4):
+            g, source = random_connected_instance(seed, 8, 18)
+            pc = run_pcons(g, source)
+            nx_g = to_networkx(g)
+            for rec in pc.pairs:
+                if rec.disconnected:
+                    continue
+                u, v = g.endpoints(rec.eid)
+                sub = nx_g.copy()
+                sub.remove_edge(u, v)
+                dist = nx.single_source_shortest_path_length(sub, source)
+                target = dist[rec.v]
+                tree_nbrs = [pc.tree.parent[rec.v]] + list(pc.tree.children[rec.v])
+                exists = False
+                for w in tree_nbrs:
+                    eid2 = (
+                        pc.tree.parent_eid[rec.v]
+                        if w == pc.tree.parent[rec.v]
+                        else pc.tree.parent_eid[w]
+                    )
+                    if eid2 == rec.eid:
+                        continue
+                    if w in dist and dist[w] + 1 == target:
+                        # need a w-path avoiding v; in unweighted graphs
+                        # dist[w] < dist[v] ensures it
+                        exists = True
+                        break
+                assert exists == rec.covered, (seed, rec.v, rec.eid)
+
+
+class TestUncoveredPairs:
+    """Observation 3.2 and Claims 4.4-4.6."""
+
+    def _uncovered(self, seed=3, n=25, p=0.18):
+        g = gnp_random_graph(n, p, seed=seed)
+        pc = run_pcons(g, 0)
+        return g, pc, [r for r in pc.pairs if r.uncovered]
+
+    def test_new_ending(self):
+        g, pc, uncovered = self._uncovered()
+        assert uncovered
+        for rec in uncovered:
+            assert not pc.tree.is_tree_edge(rec.last_eid)
+
+    def test_obs_32_detour_disjoint_from_path(self):
+        """D(P) meets pi(s, v) only at d(P) and v."""
+        g, pc, uncovered = self._uncovered()
+        for rec in uncovered:
+            path = set(pc.tree.path_vertices(rec.v))
+            detour = rec.detour
+            assert detour[0] == rec.divergence
+            assert detour[-1] == rec.v
+            for z in detour[1:-1]:
+                assert z not in path
+
+    def test_detour_is_real_path(self):
+        g, pc, uncovered = self._uncovered()
+        for rec in uncovered:
+            for a, b in zip(rec.detour, rec.detour[1:]):
+                assert g.has_edge(a, b)
+            # last edge id matches the final hop
+            assert set(g.endpoints(rec.last_eid)) == {rec.detour[-2], rec.v}
+
+    def test_path_length_achieves_replacement_distance(self):
+        g, pc, uncovered = self._uncovered()
+        for rec in uncovered:
+            total = rec.div_index + (len(rec.detour) - 1)
+            assert total == pc.weights.hops(rec.new_dist)
+
+    def test_claim_44_divergence_is_minimal(self):
+        """No replacement path with a single divergence point strictly
+        above d(P) achieves the replacement distance (hop version)."""
+        g, pc, uncovered = self._uncovered(seed=6, n=20, p=0.2)
+        nx_g = to_networkx(g)
+        for rec in uncovered[:40]:
+            path = pc.tree.path_vertices(rec.v)
+            target = pc.weights.hops(rec.new_dist)
+            for j in range(rec.div_index):
+                # paths through divergence u_j: prefix j + detour avoiding
+                # all other path vertices
+                banned = set(path) - {path[j], rec.v}
+                sub = nx_g.copy()
+                sub.remove_nodes_from(banned - {path[j], rec.v})
+                sub.remove_nodes_from(banned)
+                try:
+                    detour_len = nx.shortest_path_length(sub, path[j], rec.v)
+                except (nx.NetworkXNoPath, nx.NodeNotFound):
+                    continue
+                assert j + detour_len > target, (
+                    f"divergence {j} beats chosen {rec.div_index}"
+                )
+
+    @staticmethod
+    def _gadget_uncovered():
+        """A deep gadget guaranteeing many uncovered pairs per terminal."""
+        from repro.lower_bounds import build_theorem51
+
+        lb = build_theorem51(100, 0.3, d=8, k=1, x_size=4)
+        pc = run_pcons(lb.graph, lb.source)
+        return lb.graph, pc, [r for r in pc.pairs if r.uncovered]
+
+    def test_claim_46_same_vertex_detours_disjoint(self):
+        """Detours of one terminal with distinct last edges share only v."""
+        g, pc, uncovered = self._gadget_uncovered()
+        by_v = {}
+        for rec in uncovered:
+            by_v.setdefault(rec.v, []).append(rec)
+        checked = 0
+        for v, recs in by_v.items():
+            for i in range(len(recs)):
+                for j in range(i + 1, len(recs)):
+                    a, b = recs[i], recs[j]
+                    if a.last_eid == b.last_eid:
+                        continue
+                    inner_a = set(a.detour) - {a.divergence, v}
+                    inner_b = set(b.detour) - {b.divergence, v}
+                    assert not (inner_a & inner_b), (v, a.eid, b.eid)
+                    checked += 1
+        assert checked > 0
+
+    def test_claim_45_divergence_between_failures(self):
+        """For nested failures with distinct last edges, the deeper
+        failure's divergence sits below the shallower failed edge."""
+        g, pc, uncovered = self._gadget_uncovered()
+        by_v = {}
+        for rec in uncovered:
+            by_v.setdefault(rec.v, []).append(rec)
+        checked = 0
+        for v, recs in by_v.items():
+            recs.sort(key=lambda r: r.edge_depth)
+            for i in range(len(recs)):
+                for j in range(i + 1, len(recs)):
+                    shallow, deep = recs[i], recs[j]
+                    if shallow.last_eid == deep.last_eid:
+                        continue
+                    # d(P_deep) must be at or below the shallow failed edge's
+                    # child (Claim 4.5: in pi(y_i1, x_i2))
+                    assert deep.div_index >= shallow.edge_depth, (
+                        v, shallow.eid, deep.eid,
+                    )
+                    checked += 1
+        assert checked > 0
+
+
+class TestDegenerateGraphs:
+    def test_tree_graph_all_disconnected(self):
+        g = path_graph(6)
+        pc = run_pcons(g, 0)
+        assert all(r.disconnected for r in pc.pairs)
+
+    def test_complete_graph_all_covered_or_short(self):
+        g = complete_graph(6)
+        pc = run_pcons(g, 0)
+        for rec in pc.pairs:
+            assert not rec.disconnected
+
+    def test_single_vertex(self):
+        g = Graph(1)
+        pc = run_pcons(g, 0)
+        assert len(pc.pairs) == 0
+
+    def test_two_vertices(self):
+        g = path_graph(2)
+        pc = run_pcons(g, 0)
+        assert len(pc.pairs) == 1
+        assert pc.pairs.pairs[0].disconnected
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph_with_source(max_vertices=18))
+def test_pcons_invariants_random(pair):
+    g, source = pair
+    pc = run_pcons(g, source)
+    for rec in pc.pairs:
+        if rec.disconnected:
+            assert rec.new_dist is None
+            continue
+        assert rec.new_dist is not None
+        # replacement never shorter than original
+        assert rec.new_dist >= pc.tree.dist[rec.v]
+        assert rec.last_eid is not None
+        if rec.uncovered:
+            assert rec.detour is not None and len(rec.detour) >= 2
+            assert rec.divergence == rec.detour[0]
+            assert 0 <= rec.div_index < rec.edge_depth or rec.div_index < pc.tree.depth[rec.v]

@@ -1,0 +1,198 @@
+"""Tests for Phase S1: classification and the iterative (!~) handling."""
+
+import math
+
+import pytest
+
+from repro.core.interference import InterferenceIndex
+from repro.core.pcons import run_pcons
+from repro.core.phase_s1 import classify_pairs, run_phase_s1
+from repro.graphs import gnp_random_graph
+from repro.lower_bounds import build_theorem51
+
+
+def setup(graph, source=0):
+    pc = run_pcons(graph, source)
+    uncovered = pc.pairs.uncovered()
+    index = InterferenceIndex(pc.tree, uncovered)
+    return pc, uncovered, index
+
+
+@pytest.fixture(scope="module")
+def gadget():
+    lb = build_theorem51(100, 0.3, d=10, k=2, x_size=4)
+    return lb, *setup(lb.graph, lb.source)
+
+
+class TestClassification:
+    def test_abc_partition(self, gadget):
+        lb, pc, uncovered, index = gadget
+        live = {r.pair_id for r in uncovered if index.has_nonsim_interference(r)}
+        a, b, c = classify_pairs(index, live)
+        ids = (
+            {r.pair_id for r in a}
+            | {r.pair_id for r in b}
+            | {r.pair_id for r in c}
+        )
+        assert ids == live
+        assert len(a) + len(b) + len(c) == len(live)
+
+    def test_type_a_definition(self, gadget):
+        """A-pairs pi-intersect some live (!~) partner."""
+        lb, pc, uncovered, index = gadget
+        live = {r.pair_id for r in uncovered if index.has_nonsim_interference(r)}
+        a, b, c = classify_pairs(index, live)
+        by_id = index.by_id
+        for rec in a:
+            found = False
+            for q in index.nonsim_partners(rec):
+                if q.pair_id in live and index.pi_intersects(rec, q.v):
+                    found = True
+                    break
+            assert found
+
+    def test_type_b_definition(self, gadget):
+        """B-pairs have a live non-A (!~) partner and are not A."""
+        lb, pc, uncovered, index = gadget
+        live = {r.pair_id for r in uncovered if index.has_nonsim_interference(r)}
+        a, b, c = classify_pairs(index, live)
+        a_ids = {r.pair_id for r in a}
+        for rec in b:
+            assert rec.pair_id not in a_ids
+            partners = [
+                q
+                for q in index.nonsim_partners(rec)
+                if q.pair_id in live and q.pair_id not in a_ids
+            ]
+            assert partners
+
+    def test_type_c_definition(self, gadget):
+        """C-pairs have no live (!~) partner outside A."""
+        lb, pc, uncovered, index = gadget
+        live = {r.pair_id for r in uncovered if index.has_nonsim_interference(r)}
+        a, b, c = classify_pairs(index, live)
+        a_ids = {r.pair_id for r in a}
+        for rec in c:
+            for q in index.nonsim_partners(rec):
+                if q.pair_id in live:
+                    assert q.pair_id in a_ids
+
+    def test_empty_live_set(self, gadget):
+        lb, pc, uncovered, index = gadget
+        a, b, c = classify_pairs(index, set())
+        assert a == [] and b == [] and c == []
+
+
+class TestRunPhaseS1:
+    def test_i1_i2_partition(self, gadget):
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=3, k_bound=7, structure_edges=edges
+        )
+        i2_ids = {r.pair_id for r in result.i2}
+        for rec in uncovered:
+            if rec.pair_id in i2_ids:
+                assert not index.has_nonsim_interference(rec)
+
+    def test_added_edges_enter_structure(self, gadget):
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        before = set(edges)
+        result = run_phase_s1(
+            index, uncovered, n_eps=3, k_bound=7, structure_edges=edges
+        )
+        assert result.added_edges == edges - before
+        for eid in result.added_edges:
+            assert not pc.tree.is_tree_edge(eid)
+
+    def test_c_sets_are_sim_sets(self, gadget):
+        """Observation 4.11: each PC_i is a (~)-set."""
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=2, k_bound=7, structure_edges=edges
+        )
+        for c_set in result.c_sets:
+            live = {r.pair_id for r in c_set}
+            for rec in c_set:
+                for q in index.nonsim_partners(rec):
+                    assert q.pair_id not in live, "C set contains (!~) partners"
+
+    def test_i2_is_sim_set(self, gadget):
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=2, k_bound=7, structure_edges=edges
+        )
+        live = {r.pair_id for r in result.i2}
+        for rec in result.i2:
+            for q in index.nonsim_partners(rec):
+                assert q.pair_id not in live
+
+    def test_terminates_and_covers_i1(self, gadget):
+        """After S1, every I1 pair is either C-deferred or has its last
+        edge in the structure (Lemma 4.10's conclusion)."""
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=3, k_bound=7, structure_edges=edges
+        )
+        deferred = {r.pair_id for cs in result.c_sets for r in cs}
+        i2_ids = {r.pair_id for r in result.i2}
+        for rec in uncovered:
+            if rec.pair_id in i2_ids or rec.pair_id in deferred:
+                continue
+            assert rec.last_eid in edges
+
+    def test_iteration_bound_on_gadget(self, gadget):
+        """Lemma 4.10: iterations stay within K for realistic n_eps."""
+        lb, pc, uncovered, index = gadget
+        n = lb.graph.num_vertices
+        for eps in (0.2, 0.35):
+            edges = set(pc.tree.tree_edges())
+            n_eps = max(1, math.ceil(n**eps))
+            k_bound = math.ceil(1 / eps) + 2
+            result = run_phase_s1(
+                index, uncovered, n_eps=n_eps, k_bound=k_bound,
+                structure_edges=edges,
+            )
+            assert not result.cap_hit
+            assert result.iterations <= k_bound
+
+    def test_no_uncovered_pairs_noop(self):
+        g = gnp_random_graph(10, 1.0, seed=0)  # clique: everything covered
+        pc, uncovered, index = setup(g)
+        # filter genuinely uncovered (cliques cover everything via tree edges)
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=2, k_bound=5, structure_edges=edges
+        )
+        assert result.iterations <= max(1, len(uncovered))
+
+    def test_iteration_log_shape(self, gadget):
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=3, k_bound=7, structure_edges=edges
+        )
+        assert len(result.iteration_log) == result.iterations
+        for a, b, c, added in result.iteration_log:
+            assert a >= 0 and b >= 0 and c >= 0 and added >= 0
+
+    def test_cap_forces_coverage(self, gadget):
+        """With an artificial cap of 0 iterations everything is forced."""
+        lb, pc, uncovered, index = gadget
+        edges = set(pc.tree.tree_edges())
+        result = run_phase_s1(
+            index, uncovered, n_eps=1, k_bound=1, structure_edges=edges,
+            iteration_cap=0,
+        )
+        if any(index.has_nonsim_interference(r) for r in uncovered):
+            assert result.cap_hit
+            assert result.forced_pairs > 0
+        # regardless: every I1 pair's last edge must now be present
+        i2_ids = {r.pair_id for r in result.i2}
+        for rec in uncovered:
+            if rec.pair_id not in i2_ids:
+                assert rec.last_eid in edges

@@ -1,0 +1,138 @@
+"""Tests for Phase S2: glue handling, segment selection, (~)-set coverage."""
+
+import math
+
+import pytest
+
+from repro.core.interference import InterferenceIndex
+from repro.core.pcons import run_pcons
+from repro.core.phase_s1 import run_phase_s1
+from repro.core.phase_s2 import run_phase_s2
+from repro.decomposition.heavy_path import heavy_path_decomposition
+from repro.graphs import gnp_random_graph
+from repro.lower_bounds import build_theorem51
+
+
+def full_pipeline(graph, source, eps):
+    pc = run_pcons(graph, source)
+    uncovered = pc.pairs.uncovered()
+    index = InterferenceIndex(pc.tree, uncovered)
+    n = graph.num_vertices
+    n_eps = max(1, math.ceil(n**eps))
+    k_bound = math.ceil(1 / eps) + 2
+    edges = set(pc.tree.tree_edges())
+    s1 = run_phase_s1(
+        index, uncovered, n_eps=n_eps, k_bound=k_bound, structure_edges=edges
+    )
+    sim_sets = [s1.i2, *s1.c_sets]
+    s2 = run_phase_s2(
+        pc.tree, uncovered, sim_sets, n_eps=n_eps, structure_edges=edges
+    )
+    return pc, uncovered, s1, s2, edges
+
+
+@pytest.fixture(scope="module")
+def gadget_run():
+    lb = build_theorem51(120, 0.3, d=12, k=2, x_size=4)
+    return lb, *full_pipeline(lb.graph, lb.source, 0.25)
+
+
+class TestGlueHandling:
+    def test_glue_pairs_covered(self, gadget_run):
+        """S2.1: every uncovered pair protecting a glue edge ends in H."""
+        lb, pc, uncovered, s1, s2, edges = gadget_run
+        glue = s2.decomposition.glue_edges
+        for rec in uncovered:
+            if rec.eid in glue:
+                assert rec.last_eid in edges
+
+    def test_glue_count_reported(self, gadget_run):
+        lb, pc, uncovered, s1, s2, edges = gadget_run
+        expected = sum(
+            1 for rec in uncovered if rec.eid in s2.decomposition.glue_edges
+        )
+        assert s2.glue_pair_count == expected
+
+
+class TestSegmentSelection:
+    def test_light_segments_fully_covered(self, gadget_run):
+        """Every pair in a light segment of any (~)-set ends in H."""
+        lb, pc, uncovered, s1, s2, edges = gadget_run
+        from repro.decomposition.segments import decompose_path_edges
+
+        n = lb.graph.num_vertices
+        n_eps = max(1, math.ceil(n**0.25))
+        sim_sets = [s1.i2, *s1.c_sets]
+        for sim_set in sim_sets:
+            by_v = {}
+            for rec in sim_set:
+                by_v.setdefault(rec.v, []).append(rec)
+            for v, recs in by_v.items():
+                segs = decompose_path_edges(pc.tree.depth[v])
+                for seg in segs:
+                    bucket = [
+                        r for r in recs if seg.contains_edge(r.edge_depth - 1)
+                    ]
+                    if not bucket:
+                        continue
+                    distinct = {r.last_eid for r in bucket}
+                    if len(distinct) < n_eps:  # light
+                        for r in bucket:
+                            assert r.last_eid in edges
+
+    def test_topmost_pair_per_segment_covered(self, gadget_run):
+        lb, pc, uncovered, s1, s2, edges = gadget_run
+        from repro.decomposition.segments import decompose_path_edges
+
+        sim_sets = [s1.i2, *s1.c_sets]
+        for sim_set in sim_sets:
+            by_v = {}
+            for rec in sim_set:
+                by_v.setdefault(rec.v, []).append(rec)
+            for v, recs in by_v.items():
+                recs.sort(key=lambda r: r.edge_depth)
+                segs = decompose_path_edges(pc.tree.depth[v])
+                for seg in segs:
+                    bucket = [
+                        r for r in recs if seg.contains_edge(r.edge_depth - 1)
+                    ]
+                    if bucket:
+                        assert bucket[0].last_eid in edges
+
+
+class TestUnprotectedAccounting:
+    def test_unprotected_edges_bounded(self, gadget_run):
+        """After S2 the number of Pcons-unprotected tree edges is modest
+        (Theorem 3.1: O(1/eps n^(1-eps) log n))."""
+        lb, pc, uncovered, s1, s2, edges = gadget_run
+        missing = {rec.eid for rec in uncovered if rec.last_eid not in edges}
+        n = lb.graph.num_vertices
+        eps = 0.25
+        bound = (1 / eps) * n ** (1 - eps) * math.log2(n)
+        assert len(missing) <= bound
+
+    def test_s2_adds_nontree_edges_only(self, gadget_run):
+        lb, pc, uncovered, s1, s2, edges = gadget_run
+        for eid in s2.added_edges:
+            assert not pc.tree.is_tree_edge(eid)
+
+
+class TestEmptyInput:
+    def test_no_uncovered_pairs(self):
+        g = gnp_random_graph(12, 1.0, seed=0)  # clique
+        pc = run_pcons(g, 0)
+        uncovered = pc.pairs.uncovered()
+        edges = set(pc.tree.tree_edges())
+        s2 = run_phase_s2(pc.tree, uncovered, [uncovered], n_eps=2, structure_edges=edges)
+        assert isinstance(s2.added_edges, set)
+
+    def test_reuses_supplied_decomposition(self):
+        g = gnp_random_graph(20, 0.3, seed=1)
+        pc = run_pcons(g, 0)
+        td = heavy_path_decomposition(pc.tree)
+        edges = set(pc.tree.tree_edges())
+        s2 = run_phase_s2(
+            pc.tree, pc.pairs.uncovered(), [], n_eps=2,
+            structure_edges=edges, decomposition=td,
+        )
+        assert s2.decomposition is td

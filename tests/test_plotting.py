@@ -1,0 +1,68 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.util.plotting import ascii_bars, ascii_loglog, sparkline
+
+
+class TestBars:
+    def test_basic(self):
+        chart = ascii_bars(["a", "bb"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_zero_values(self):
+        chart = ascii_bars(["x"], [0.0])
+        assert "0" in chart
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(empty chart)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_values_displayed(self):
+        chart = ascii_bars(["p", "q"], [3.5, 7.25])
+        assert "3.5" in chart and "7.25" in chart
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert line[0] != line[-1]
+
+    def test_flat(self):
+        line = sparkline([2, 2, 2])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLogLog:
+    def test_renders_points_and_reference(self):
+        xs = [10, 100, 1000]
+        ys = [5, 50, 500]
+        chart = ascii_loglog(xs, ys, reference_exponent=1.0)
+        assert "o" in chart
+        assert "." in chart
+        assert "ref slope 1" in chart
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_loglog([0, 1], [1, 2])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            ascii_loglog([10], [10])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_loglog([1, 2], [1])
+
+    def test_bounds_label(self):
+        chart = ascii_loglog([10, 1000], [10, 1000])
+        assert "x: 10^1.00..10^3.00" in chart

@@ -1,0 +1,119 @@
+"""Tests for the replacement-distance engine (dist(s, v, G \\ e))."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    to_networkx,
+)
+from repro.spt.replacement import ReplacementEngine
+from repro.spt.spt_tree import build_spt
+from repro.spt.weights import EXACT, make_weights
+
+from tests.conftest import graph_with_source
+
+
+def make_engine(graph, source=0):
+    tree = build_spt(graph, make_weights(graph, EXACT), source)
+    return tree, ReplacementEngine(tree)
+
+
+class TestBasics:
+    def test_cycle_reroute(self):
+        g = cycle_graph(6)
+        tree, engine = make_engine(g)
+        eid = tree.parent_eid[1] if tree.depth[1] == 1 else None
+        # the tree edge to vertex 1 is (0,1); failure forces the long way
+        eid = g.edge_id(0, 1)
+        assert engine.hops_after_failure(eid, 1) == 5
+
+    def test_path_disconnects(self):
+        g = path_graph(5)
+        tree, engine = make_engine(g)
+        eid = g.edge_id(1, 2)
+        assert engine.dist_after_failure(eid, 2) is None
+        assert engine.dist_after_failure(eid, 4) is None
+
+    def test_outside_subtree_unchanged(self):
+        g = grid_graph(3, 3)
+        tree, engine = make_engine(g)
+        for eid in tree.tree_edges():
+            child = tree.edge_child(eid)
+            for v in g.vertices():
+                if not tree.in_subtree(child, v):
+                    assert engine.dist_after_failure(eid, v) == tree.dist[v]
+
+    def test_memoization(self):
+        g = cycle_graph(5)
+        tree, engine = make_engine(g)
+        eid = tree.tree_edges()[0]
+        assert engine.failure(eid) is engine.failure(eid)
+
+    def test_precompute_all(self):
+        g = grid_graph(3, 3)
+        tree, engine = make_engine(g)
+        engine.precompute_all()
+        assert len(engine._cache) == len(tree.tree_edges())
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_failures_all_vertices(self, seed):
+        g = gnp_random_graph(22, 0.18, seed=seed)
+        tree, engine = make_engine(g)
+        nx_g = to_networkx(g)
+        w = tree.weights
+        for eid in tree.tree_edges():
+            u, v = g.endpoints(eid)
+            nx_sub = nx_g.copy()
+            nx_sub.remove_edge(u, v)
+            theirs = nx.single_source_shortest_path_length(nx_sub, 0)
+            for vertex in g.vertices():
+                ours = engine.hops_after_failure(eid, vertex)
+                assert ours == theirs.get(vertex), (eid, vertex)
+
+
+class TestWeightedConsistency:
+    def test_replacement_at_least_original(self):
+        g = gnp_random_graph(25, 0.2, seed=3)
+        tree, engine = make_engine(g)
+        for eid in tree.tree_edges():
+            child = tree.edge_child(eid)
+            for v in tree.subtree_vertices(child):
+                d = engine.dist_after_failure(eid, v)
+                if d is not None:
+                    assert d >= tree.dist[v]
+
+    def test_child_distance_increases(self):
+        """The failed edge is the child's parent edge: distance must grow
+        strictly in weighted terms (the old unique path is gone)."""
+        g = gnp_random_graph(25, 0.25, seed=5)
+        tree, engine = make_engine(g)
+        for eid in tree.tree_edges():
+            child = tree.edge_child(eid)
+            d = engine.dist_after_failure(eid, child)
+            if d is not None:
+                assert d > tree.dist[child]
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph_with_source(max_vertices=14))
+def test_replacement_matches_full_dijkstra(pair):
+    """Subtree-restricted recompute equals a from-scratch banned-edge run."""
+    from repro.spt.dijkstra import dijkstra
+
+    g, source = pair
+    tree = build_spt(g, make_weights(g, EXACT), source)
+    engine = ReplacementEngine(tree)
+    for eid in tree.tree_edges():
+        full = dijkstra(g, tree.weights, source, banned_edge=eid)
+        for v in g.vertices():
+            if not tree.is_reachable(v):
+                continue
+            assert engine.dist_after_failure(eid, v) == full.dist[v]

@@ -1,0 +1,110 @@
+"""Tests for the single-source distance sensitivity oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    connected_gnp_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    to_networkx,
+)
+from repro.spt import DistanceSensitivityOracle
+
+
+@pytest.fixture(scope="module")
+def oracle_and_graph():
+    g = connected_gnp_graph(35, 0.12, seed=4)
+    return DistanceSensitivityOracle(g, 0), g
+
+
+class TestDistanceQueries:
+    def test_no_failure_matches_bfs(self, oracle_and_graph):
+        dso, g = oracle_and_graph
+        lengths = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        for v in g.vertices():
+            assert dso.distance(v) == lengths.get(v)
+            assert dso.base_distance(v) == lengths.get(v)
+
+    def test_all_failures_match_networkx(self, oracle_and_graph):
+        dso, g = oracle_and_graph
+        nx_g = to_networkx(g)
+        for eid, u, v in g.edges():
+            sub = nx_g.copy()
+            sub.remove_edge(u, v)
+            lengths = nx.single_source_shortest_path_length(sub, 0)
+            for t in range(0, g.num_vertices, 3):
+                assert dso.distance(t, eid) == lengths.get(t), (eid, t)
+
+    def test_non_tree_edge_failure_is_free(self, oracle_and_graph):
+        dso, g = oracle_and_graph
+        non_tree = [
+            eid for eid, _, _ in g.edges() if not dso.tree.is_tree_edge(eid)
+        ]
+        assert non_tree
+        for v in range(5):
+            assert dso.distance(v, non_tree[0]) == dso.base_distance(v)
+
+    def test_bad_edge_id(self, oracle_and_graph):
+        dso, g = oracle_and_graph
+        with pytest.raises(GraphError):
+            dso.distance(0, g.num_edges + 5)
+
+    def test_query_counter(self):
+        g = cycle_graph(6)
+        dso = DistanceSensitivityOracle(g, 0)
+        dso.distance(3)
+        dso.distance(3, 0)
+        assert dso.queries_served == 2
+
+
+class TestReplacementPaths:
+    def test_paths_are_valid_and_shortest(self, oracle_and_graph):
+        dso, g = oracle_and_graph
+        for eid, u, v in list(g.edges())[:40]:
+            for t in range(0, g.num_vertices, 4):
+                d = dso.distance(t, eid)
+                path = dso.replacement_path(t, eid)
+                if d is None:
+                    assert path is None
+                    continue
+                assert path[0] == 0 and path[-1] == t
+                assert len(path) - 1 == d
+                for a, b in zip(path, path[1:]):
+                    assert g.has_edge(a, b)
+                    assert {a, b} != {u, v}, "path uses the failed edge"
+                assert len(set(path)) == len(path), "path not simple"
+
+    def test_unaffected_target_gets_tree_path(self, oracle_and_graph):
+        dso, g = oracle_and_graph
+        tree = dso.tree
+        eid = tree.tree_edges()[0]
+        child = tree.edge_child(eid)
+        for v in g.vertices():
+            if tree.is_reachable(v) and not tree.in_subtree(child, v):
+                assert dso.replacement_path(v, eid) == tree.path_vertices(v)
+                break
+
+    def test_disconnecting_failure_returns_none(self):
+        g = path_graph(5)
+        dso = DistanceSensitivityOracle(g, 0)
+        assert dso.replacement_path(4, g.edge_id(1, 2)) is None
+
+    def test_unreachable_vertex_raises(self):
+        g = Graph(3, [(0, 1)])
+        dso = DistanceSensitivityOracle(g, 0)
+        with pytest.raises(GraphError):
+            dso.replacement_path(2, 0)
+
+
+class TestPrecompute:
+    def test_precompute_then_query(self):
+        g = grid_graph(4, 4)
+        dso = DistanceSensitivityOracle(g, 0)
+        dso.precompute()
+        # every tree edge failure is already cached
+        assert len(dso._engine._cache) == len(dso.tree.tree_edges())
+        assert dso.distance(15, dso.tree.tree_edges()[0]) is not None

@@ -1,0 +1,122 @@
+"""Tests for the failure simulation substrate."""
+
+import pytest
+
+from repro.core import build_epsilon_ftbfs, build_ftbfs13, run_pcons
+from repro.errors import ParameterError
+from repro.graphs import connected_gnp_graph, cycle_graph, path_graph
+from repro.simulate import (
+    adversarial_trace,
+    simulate_structure,
+    simulate_trace,
+    uniform_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return connected_gnp_graph(40, 0.12, seed=9)
+
+
+class TestTraces:
+    def test_uniform_reproducible(self, network):
+        a = uniform_trace(network, 20, seed=3)
+        b = uniform_trace(network, 20, seed=3)
+        assert a.edges() == b.edges()
+        assert [e.downtime for e in a] == [e.downtime for e in b]
+
+    def test_uniform_respects_exclusions(self, network):
+        exclude = {0, 1, 2}
+        trace = uniform_trace(network, 50, seed=1, exclude=exclude)
+        assert not (set(trace.edges()) & exclude)
+
+    def test_uniform_rejects_negative(self, network):
+        with pytest.raises(ParameterError):
+            uniform_trace(network, -1)
+
+    def test_uniform_no_candidates(self):
+        g = path_graph(3)
+        with pytest.raises(ParameterError):
+            uniform_trace(g, 5, exclude={0, 1})
+
+    def test_adversarial_hits_tree_edges(self, network):
+        pc = run_pcons(network, 0)
+        tree_edges = pc.tree.tree_edges()
+        trace = adversarial_trace(network, tree_edges, 30, seed=2)
+        assert set(trace.edges()) <= set(tree_edges)
+        assert trace.kind == "adversarial"
+
+    def test_zero_events(self, network):
+        trace = uniform_trace(network, 0)
+        assert len(trace) == 0
+
+
+class TestSimulateTrace:
+    def test_ftbfs_never_violates(self, network):
+        """THE theorem, in simulation form: zero violations."""
+        s = build_ftbfs13(network, 0)
+        trace = uniform_trace(network, 60, seed=5)
+        report = simulate_trace(network, 0, s.edges, trace)
+        assert report.violations == 0
+        assert report.availability == 1.0
+        assert report.worst_event is None
+
+    def test_bare_tree_violates_on_cycle(self):
+        g = cycle_graph(8)
+        pc = run_pcons(g, 0)
+        tree_edges = pc.tree.tree_edges()
+        trace = adversarial_trace(g, tree_edges, 10, seed=1)
+        report = simulate_trace(g, 0, tree_edges, trace)
+        assert report.violations > 0
+        assert report.availability < 1.0
+        assert report.worst_event is not None
+        assert report.worst_event.violated
+
+    def test_downtime_accounting(self, network):
+        s = build_ftbfs13(network, 0)
+        trace = uniform_trace(network, 25, seed=7, mean_downtime=2.0)
+        report = simulate_trace(network, 0, s.edges, trace)
+        assert report.total_downtime == pytest.approx(
+            sum(e.downtime for e in trace)
+        )
+
+    def test_outcomes_align_with_events(self, network):
+        s = build_ftbfs13(network, 0)
+        trace = uniform_trace(network, 12, seed=4)
+        report = simulate_trace(network, 0, s.edges, trace)
+        assert len(report.outcomes) == 12
+        assert [o.edge for o in report.outcomes] == trace.edges()
+
+
+class TestSimulateStructure:
+    def test_reinforced_events_skipped(self):
+        """A structure with reinforced edges never sees them fail."""
+        from repro.lower_bounds import build_theorem51
+
+        lb = build_theorem51(120, 0.2, d=14, k=2, x_size=4)
+        s = build_epsilon_ftbfs(lb.graph, lb.source, 0.2)
+        assert s.num_reinforced > 0
+        trace = adversarial_trace(
+            lb.graph, sorted(s.reinforced), 10, seed=3
+        )
+        report = simulate_structure(s, trace)
+        assert report.violations == 0
+        assert report.num_events == 10
+        assert report.availability == 1.0
+
+    def test_full_structure_clean_run(self, network):
+        s = build_epsilon_ftbfs(network, 0, 0.3)
+        trace = uniform_trace(network, 40, seed=8)
+        report = simulate_structure(s, trace)
+        assert report.violations == 0
+        assert "availability 100.00%" in report.summary()
+
+    def test_sabotaged_structure_detected_in_simulation(self, network):
+        s = build_ftbfs13(network, 0)
+        backup_only = sorted(s.edges - s.tree_edges)
+        assert backup_only
+        crippled = set(s.edges) - set(backup_only)
+        pc = run_pcons(network, 0)
+        trace = adversarial_trace(network, pc.tree.tree_edges(), 80, seed=6)
+        report = simulate_trace(network, 0, crippled, trace)
+        assert report.violations > 0

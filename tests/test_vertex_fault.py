@@ -1,0 +1,129 @@
+"""Tests for the vertex-fault FT-BFS extension ([14])."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import build_vertex_fault_ftbfs, verify_vertex_fault
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+from tests.conftest import graph_with_source
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = connected_gnp_graph(30, 0.15, seed=seed)
+        s = build_vertex_fault_ftbfs(g, 0)
+        report = verify_vertex_fault(g, 0, s.edges)
+        assert report.ok, report.violations[:3]
+
+    @pytest.mark.parametrize(
+        "graph_fn,source",
+        [
+            (lambda: cycle_graph(9), 0),
+            (lambda: grid_graph(5, 5), 0),
+            (lambda: grid_graph(5, 5), 12),
+            (lambda: complete_graph(8), 3),
+            (lambda: star_graph(8), 0),
+            (lambda: path_graph(9), 0),
+        ],
+    )
+    def test_special_graphs(self, graph_fn, source):
+        g = graph_fn()
+        s = build_vertex_fault_ftbfs(g, source)
+        assert verify_vertex_fault(g, source, s.edges).ok
+
+    def test_disconnected_graph(self):
+        g = Graph(7, [(0, 1), (1, 2), (0, 2), (4, 5)])
+        s = build_vertex_fault_ftbfs(g, 0)
+        assert verify_vertex_fault(g, 0, s.edges).ok
+
+
+class TestStructure:
+    def test_contains_tree(self):
+        g = grid_graph(4, 4)
+        s = build_vertex_fault_ftbfs(g, 0)
+        assert s.tree_edges <= s.edges
+
+    def test_counts_partition(self):
+        g = connected_gnp_graph(25, 0.2, seed=7)
+        s = build_vertex_fault_ftbfs(g, 0)
+        assert s.num_pairs == s.num_covered + s.num_uncovered + s.num_disconnected
+
+    def test_tree_input_tree_output(self):
+        g = path_graph(8)
+        s = build_vertex_fault_ftbfs(g, 0)
+        assert s.num_edges == 7  # vertex failures disconnect; nothing to add
+
+    def test_size_bound_random(self):
+        g = connected_gnp_graph(60, 0.1, seed=3)
+        s = build_vertex_fault_ftbfs(g, 0)
+        assert s.num_edges <= 2 * 60**1.5
+
+    def test_summary(self):
+        g = cycle_graph(6)
+        s = build_vertex_fault_ftbfs(g, 0)
+        assert "vertex-fault" in s.summary()
+
+
+class TestOracle:
+    def test_oracle_detects_missing_edge(self):
+        g = cycle_graph(7)
+        s = build_vertex_fault_ftbfs(g, 0)
+        needed = sorted(s.edges - s.tree_edges)
+        if needed:
+            report = verify_vertex_fault(g, 0, set(s.edges) - {needed[0]})
+            assert not report.ok
+
+    def test_vertex_vs_edge_fault_relationship(self):
+        """A vertex-fault structure is NOT automatically edge-fault
+        tolerant, and vice versa - they protect different events."""
+        g = connected_gnp_graph(30, 0.15, seed=11)
+        from repro.core import build_ftbfs13, verify_subgraph
+
+        vf = build_vertex_fault_ftbfs(g, 0)
+        ef = build_ftbfs13(g, 0)
+        # both contain T0 and a set of last edges; the union handles both
+        union = set(vf.edges) | set(ef.edges)
+        assert verify_vertex_fault(g, 0, union).ok
+        assert verify_subgraph(g, 0, union).ok
+
+
+@settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(graph_with_source(max_vertices=14))
+def test_vertex_fault_property(pair):
+    g, source = pair
+    s = build_vertex_fault_ftbfs(g, source)
+    assert verify_vertex_fault(g, source, s.edges).ok
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_against_networkx_bruteforce(seed):
+    """Exhaustive cross-check: every vertex failure, every target."""
+    g = connected_gnp_graph(18, 0.25, seed=seed)
+    s = build_vertex_fault_ftbfs(g, 0)
+    h = g.edge_subgraph(s.edges)
+    nx_g, nx_h = to_networkx(g), to_networkx(h)
+    for x in range(1, 18):
+        gg = nx_g.copy()
+        gg.remove_node(x)
+        hh = nx_h.copy()
+        hh.remove_node(x)
+        dist_g = nx.single_source_shortest_path_length(gg, 0)
+        dist_h = nx.single_source_shortest_path_length(hh, 0)
+        for v in range(18):
+            if v == x:
+                continue
+            assert dist_g.get(v) == dist_h.get(v), (x, v)

@@ -1,0 +1,99 @@
+"""Tests for the tie-breaking weight assignments."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graphs import complete_graph, path_graph, random_connected_graph
+from repro.spt.weights import AUTO, EXACT, RANDOM, make_weights
+
+
+class TestExactScheme:
+    def test_hops_extraction(self):
+        g = path_graph(5)
+        w = make_weights(g, EXACT)
+        total = w.path_weight([0, 1, 2])
+        assert w.hops(total) == 3
+
+    def test_perturbations_distinct_powers(self):
+        g = complete_graph(5)
+        w = make_weights(g, EXACT)
+        perts = [w.perturbation(w[e]) for e in range(g.num_edges)]
+        assert perts == [1 << e for e in range(g.num_edges)]
+
+    def test_subset_sums_unique(self):
+        """Any two distinct edge subsets have distinct perturbation sums."""
+        from itertools import combinations
+
+        g = complete_graph(4)
+        w = make_weights(g, EXACT)
+        seen = set()
+        edges = list(range(g.num_edges))
+        for r in range(len(edges) + 1):
+            for subset in combinations(edges, r):
+                s = sum(w.perturbation(w[e]) for e in subset)
+                assert s not in seen
+                seen.add(s)
+
+    def test_hops_dominate(self):
+        """A path with fewer hops always weighs less, whatever the edges."""
+        g = complete_graph(6)
+        w = make_weights(g, EXACT)
+        heaviest_short = max(w[e] for e in range(g.num_edges))
+        two_lightest = sorted(w[e] for e in range(g.num_edges))[:2]
+        assert heaviest_short < sum(two_lightest)
+
+
+class TestRandomScheme:
+    def test_deterministic_given_seed(self):
+        g = complete_graph(6)
+        a = make_weights(g, RANDOM, seed=7)
+        b = make_weights(g, RANDOM, seed=7)
+        assert list(a.weights) == list(b.weights)
+
+    def test_seeds_differ(self):
+        g = complete_graph(6)
+        a = make_weights(g, RANDOM, seed=7)
+        b = make_weights(g, RANDOM, seed=8)
+        assert list(a.weights) != list(b.weights)
+
+    def test_reseeded(self):
+        g = complete_graph(6)
+        a = make_weights(g, RANDOM, seed=7)
+        c = a.reseeded(9)
+        assert c.scheme == RANDOM
+        assert list(c.weights) != list(a.weights)
+
+    def test_exact_cannot_reseed(self):
+        g = complete_graph(4)
+        w = make_weights(g, EXACT)
+        with pytest.raises(ParameterError):
+            w.reseeded(3)
+
+    def test_hops_extraction(self):
+        g = path_graph(10)
+        w = make_weights(g, RANDOM, seed=1)
+        total = w.path_weight(list(range(9)))
+        assert w.hops(total) == 9
+
+
+class TestAuto:
+    def test_small_graph_exact(self):
+        g = path_graph(10)
+        assert make_weights(g, AUTO).scheme == EXACT
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ParameterError):
+            make_weights(path_graph(3), "bogus")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(5, 40))
+def test_random_scheme_weights_positive_and_bounded(seed, n):
+    g = random_connected_graph(n, n // 2, seed=seed % 100)
+    w = make_weights(g, RANDOM, seed=seed)
+    big = w.big
+    for e in range(g.num_edges):
+        assert big < w[e] < 2 * big
+        assert w.hops(w[e]) == 1
