@@ -17,6 +17,8 @@ Public API highlights
 * :func:`repro.core.build_ftbfs13` - the ESA'13 baseline (eps = 1).
 * :func:`repro.core.build_ft_mbfs` - multi-source structures.
 * :func:`repro.core.verify_structure` - the independent oracle.
+* :mod:`repro.engine` - pluggable traversal engines (python reference
+  vs numpy/CSR kernels) behind one dispatch point.
 * :mod:`repro.lower_bounds` - the Theorem 5.1 / 5.4 gadget graphs.
 * :mod:`repro.harness` - the experiment registry behind the benchmarks.
 """
@@ -61,6 +63,13 @@ from repro.core import (
     verify_subgraph,
     verify_vertex_fault,
 )
+from repro.engine import (
+    available_engines,
+    engine_context,
+    get_engine,
+    register_engine,
+    set_default_engine,
+)
 from repro.io import structure_from_json, structure_to_json
 from repro.spt import DistanceSensitivityOracle
 
@@ -75,6 +84,12 @@ __all__ = [
     "TieBreakError",
     "VerificationError",
     "ExperimentError",
+    # engine layer
+    "available_engines",
+    "engine_context",
+    "get_engine",
+    "register_engine",
+    "set_default_engine",
     # graphs
     "Graph",
     "path_graph",

@@ -11,6 +11,12 @@ Subcommands
     Build a structure for a named workload and report its sizes.
 ``quickstart``
     A tiny end-to-end demo.
+``engines``
+    List the registered traversal engines (see :mod:`repro.engine`).
+
+``run``, ``build`` and ``quickstart`` accept ``--engine {python,csr}``
+to pin the traversal engine for the whole invocation; otherwise the
+``REPRO_ENGINE`` environment variable / registry default applies.
 """
 
 from __future__ import annotations
@@ -21,6 +27,13 @@ from typing import List, Optional, Sequence
 
 from repro import __version__
 from repro.core import build_epsilon_ftbfs, verify_structure
+from repro.engine import (
+    ENGINE_ENV_VAR,
+    available_engines,
+    default_engine_name,
+    engine_context,
+    get_engine,
+)
 from repro.harness import (
     experiment_ids,
     run_experiment,
@@ -44,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command")
 
+    def add_engine_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            default=None,
+            choices=available_engines(),
+            help=f"traversal engine (default: ${ENGINE_ENV_VAR} or the registry default)",
+        )
+
     sub.add_parser("list", help="list experiments and workloads")
 
     run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
@@ -51,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--quick", action="store_true", help="small sweeps")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--save", action="store_true", help="write bench_artifacts/")
+    add_engine_flag(run_p)
 
     build_p = sub.add_parser("build", help="build one structure and report")
     build_p.add_argument("--workload", default="gnp", choices=workload_names())
@@ -58,8 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     build_p.add_argument("--epsilon", type=float, default=0.3)
     build_p.add_argument("--seed", type=int, default=0)
     build_p.add_argument("--no-verify", action="store_true")
+    add_engine_flag(build_p)
 
-    sub.add_parser("quickstart", help="tiny end-to-end demo")
+    quickstart_p = sub.add_parser("quickstart", help="tiny end-to-end demo")
+    add_engine_flag(quickstart_p)
+
+    sub.add_parser("engines", help="list registered traversal engines")
     return parser
 
 
@@ -70,6 +96,17 @@ def _cmd_list() -> int:
     print("workloads:")
     for name in workload_names():
         print(f"  {name}")
+    return 0
+
+
+def _cmd_engines() -> int:
+    default = default_engine_name()
+    print("engines:")
+    for name in available_engines():
+        engine = get_engine(name)
+        marker = "  (default)" if name == default else ""
+        print(f"  {name:<8} {type(engine).__name__}{marker}")
+    print(f"select with --engine, ${ENGINE_ENV_VAR}, or repro.engine.set_default_engine")
     return 0
 
 
@@ -120,16 +157,22 @@ def _cmd_quickstart() -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args.ids, args.quick, args.seed, args.save)
-    if args.command == "build":
-        return _cmd_build(args.workload, args.n, args.epsilon, args.seed, args.no_verify)
-    if args.command == "quickstart":
-        return _cmd_quickstart()
-    parser.print_help()
-    return 2
+    # engine_context saves and restores any pre-existing process default.
+    with engine_context(getattr(args, "engine", None)):
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "engines":
+            return _cmd_engines()
+        if args.command == "run":
+            return _cmd_run(args.ids, args.quick, args.seed, args.save)
+        if args.command == "build":
+            return _cmd_build(
+                args.workload, args.n, args.epsilon, args.seed, args.no_verify
+            )
+        if args.command == "quickstart":
+            return _cmd_quickstart()
+        parser.print_help()
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

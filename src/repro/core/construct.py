@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Set
 
 from repro._types import Vertex
+from repro.engine.registry import engine_context
 from repro.errors import GraphError, ParameterError
 from repro.graphs.graph import Graph
 from repro.core.ftbfs13 import build_ftbfs13
@@ -49,6 +50,9 @@ class ConstructOptions:
     force_main: bool = False
     #: Defensive Phase S1 iteration cap (None = 4K + 16).
     s1_iteration_cap: Optional[int] = None
+    #: Traversal engine for the run (None = the registry default); see
+    #: :mod:`repro.engine`.
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -108,6 +112,17 @@ def build_epsilon_ftbfs_traced(
     if not 0 <= source < graph.num_vertices:
         raise GraphError(f"source {source} out of range")
 
+    with engine_context(opts.engine):
+        return _dispatch(graph, source, eps, opts, pcons)
+
+
+def _dispatch(
+    graph: Graph,
+    source: Vertex,
+    eps: float,
+    opts: ConstructOptions,
+    pcons: Optional[PconsResult],
+) -> tuple:
     # ------------------------------------------------------------------
     # Regime dispatch.
     # ------------------------------------------------------------------

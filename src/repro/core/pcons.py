@@ -35,10 +35,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._types import EdgeId, Vertex
+from repro.engine.registry import get_engine
 from repro.errors import ReproError, TieBreakError
 from repro.graphs.graph import Graph
 from repro.core.pairs import PairRecord, PairSet
-from repro.spt.dijkstra import dijkstra
 from repro.spt.replacement import ReplacementEngine
 from repro.spt.spt_tree import ShortestPathTree, build_spt
 from repro.spt.weights import RANDOM, WeightAssignment, make_weights
@@ -214,8 +214,10 @@ def _fill_detours(
     path_set = set(path_vertices)
     banned = path_set - {v}
 
-    # Detour Dijkstra from v avoiding pi(s, v) internally.
-    sp = dijkstra(graph, weights, v, banned_vertices=banned)
+    # Detour Dijkstra from v avoiding pi(s, v) internally (dispatched
+    # through the engine layer; both built-in engines share the exact
+    # big-int reference implementation).
+    sp = get_engine().shortest_paths(graph, weights, v, banned_vertices=banned)
 
     # delta(j): cheapest escape from u_j into the detour region, plus the
     # detour's first edge (u_j, w).  Records (value, w, eid) per j.

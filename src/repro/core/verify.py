@@ -16,6 +16,15 @@ the oracle does not assume the structure contains ``T0``: it checks
   absent from ``H`` are automatically fine *unless* the failure changes
   distances in ``G`` - those edges are re-checked explicitly).
 
+All per-failure distances come from the traversal engine's **batched
+failure sweep** (:meth:`~repro.engine.base.TraversalEngine.failure_sweep`):
+one lazy sweep over the graph side and one over the structure side.  On
+the csr engine each sweep reuses a single base BFS tree and recomputes
+only the subtree hanging under a failed tree edge, which is what makes
+``verify_structure`` fast at scale; the python engine runs the historical
+two-BFS-per-failure loop.  Verdicts, counts, and violations are
+bit-identical across engines (enforced by the parity tests).
+
 It also exposes :func:`unprotected_edges`, the measured set the paper
 calls ``E_miss(H)`` - handy for evaluating *any* candidate subgraph, not
 just ours.
@@ -24,13 +33,14 @@ just ours.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro._types import EdgeId, Vertex
+from repro.engine.base import UNREACHABLE, distances_equal
+from repro.engine.registry import get_engine
 from repro.errors import VerificationError
 from repro.graphs.graph import Graph
 from repro.core.structure import FTBFSStructure
-from repro.spt.bfs import UNREACHABLE, bfs_distances
 
 __all__ = [
     "Violation",
@@ -80,6 +90,7 @@ def verify_structure(
     structure: FTBFSStructure,
     *,
     max_violations: int = 10,
+    engine: Optional[str] = None,
 ) -> VerificationReport:
     """Verify an :class:`FTBFSStructure` against its graph."""
     return verify_subgraph(
@@ -88,40 +99,27 @@ def verify_structure(
         structure.edges,
         structure.reinforced,
         max_violations=max_violations,
+        engine=engine,
     )
 
 
-def verify_subgraph(
+def _fault_candidates(
     graph: Graph,
-    source: Vertex,
-    structure_edges: Iterable[EdgeId],
-    reinforced: Iterable[EdgeId] = (),
-    *,
-    max_violations: int = 10,
-) -> VerificationReport:
-    """Verify an arbitrary edge set ``H`` with reinforced subset ``E'``."""
-    h_edges: Set[EdgeId] = set(structure_edges)
-    e_prime: Set[EdgeId] = set(reinforced)
-    violations: List[Violation] = []
-    checked = 0
+    base_g: Sequence[int],
+    h_edges: Set[EdgeId],
+    skip: Set[EdgeId],
+) -> List[EdgeId]:
+    """Edges whose failure could matter, in edge-id order.
 
-    # --- no-failure case ------------------------------------------------
-    base_g = bfs_distances(graph, source)
-    base_h = bfs_distances(graph, source, allowed_edges=h_edges)
-    checked += 1
-    _compare(None, base_h, base_g, violations, max_violations)
-    if len(violations) >= max_violations:
-        return VerificationReport(False, checked, violations)
-
-    # --- failures -------------------------------------------------------
-    # An edge failure in G changes some distance only if the edge is
-    # "BFS-critical"; rather than guess, check every fault-prone edge of G.
-    # Edges outside H with unchanged G-distances are skipped via a quick
-    # necessity filter: e = (u, v) can only matter if it is tight in G
-    # (|dist(u) - dist(v)| == 1 ... actually tight edges are those that lie
-    # on some shortest path: dist(u) + 1 == dist(v) or vice versa).
+    An edge failure in G changes some distance only if the edge is
+    "BFS-critical"; rather than guess, check every fault-prone edge of G.
+    Edges outside H with unchanged G-distances are skipped via a quick
+    necessity filter: e = (u, v) can only matter if it is tight in G
+    (lies on some shortest path: dist(u) + 1 == dist(v) or vice versa).
+    """
+    candidates: List[EdgeId] = []
     for eid, u, v in graph.edges():
-        if eid in e_prime:
+        if eid in skip:
             continue  # reinforced edges never fail
         du, dv = base_g[u], base_g[v]
         tight = (
@@ -131,11 +129,46 @@ def verify_subgraph(
         if not tight and eid not in h_edges:
             # Removing a non-tight, non-structure edge changes neither side.
             continue
-        dist_g = bfs_distances(graph, source, banned_edge=eid)
-        dist_h = bfs_distances(
-            graph, source, banned_edge=eid, allowed_edges=h_edges
-        )
+        candidates.append(eid)
+    return candidates
+
+
+def verify_subgraph(
+    graph: Graph,
+    source: Vertex,
+    structure_edges: Iterable[EdgeId],
+    reinforced: Iterable[EdgeId] = (),
+    *,
+    max_violations: int = 10,
+    engine: Optional[str] = None,
+) -> VerificationReport:
+    """Verify an arbitrary edge set ``H`` with reinforced subset ``E'``."""
+    eng = get_engine(engine)
+    h_edges: Set[EdgeId] = set(structure_edges)
+    e_prime: Set[EdgeId] = set(reinforced)
+    violations: List[Violation] = []
+    checked = 0
+
+    # One sweep handle per side: the base traversal below is the same one
+    # the per-failure computations reuse.
+    sweep_g = eng.sweep(graph, source)
+    sweep_h = eng.sweep(graph, source, allowed_edges=h_edges)
+
+    # --- no-failure case ------------------------------------------------
+    base_g = sweep_g.base_distances()
+    base_h = sweep_h.base_distances()
+    checked += 1
+    _compare(None, base_h, base_g, violations, max_violations)
+    if len(violations) >= max_violations:
+        return VerificationReport(False, checked, violations)
+
+    # --- failures (batched through the sweep handles) -------------------
+    for eid in _fault_candidates(graph, base_g, h_edges, e_prime):
+        dist_g = sweep_g.failed(eid)
+        dist_h = sweep_h.failed(eid)
         checked += 1
+        if distances_equal(dist_h, dist_g):
+            continue
         _compare(eid, dist_h, dist_g, violations, max_violations)
         if len(violations) >= max_violations:
             break
@@ -152,7 +185,7 @@ def _compare(
 ) -> None:
     for v, (dh, dg) in enumerate(zip(dist_h, dist_g)):
         if dh != dg:
-            violations.append(Violation(eid, v, dh, dg))
+            violations.append(Violation(eid, v, int(dh), int(dg)))
             if len(violations) >= max_violations:
                 return
 
@@ -161,6 +194,8 @@ def unprotected_edges(
     graph: Graph,
     source: Vertex,
     structure_edges: Iterable[EdgeId],
+    *,
+    engine: Optional[str] = None,
 ) -> Set[EdgeId]:
     """The measured ``E_miss(H)``: edges whose failure ``H`` fails to cover.
 
@@ -169,19 +204,12 @@ def unprotected_edges(
     minimal valid reinforcement set for ``H`` - useful to evaluate
     candidate structures produced by any method.
     """
+    eng = get_engine(engine)
     h_edges: Set[EdgeId] = set(structure_edges)
-    base_g = bfs_distances(graph, source)
+    sweep_g = eng.sweep(graph, source)
+    sweep_h = eng.sweep(graph, source, allowed_edges=h_edges)
     result: Set[EdgeId] = set()
-    for eid, u, v in graph.edges():
-        du, dv = base_g[u], base_g[v]
-        tight = (
-            (du != UNREACHABLE and dv == du + 1)
-            or (dv != UNREACHABLE and du == dv + 1)
-        )
-        if not tight and eid not in h_edges:
-            continue
-        dist_g = bfs_distances(graph, source, banned_edge=eid)
-        dist_h = bfs_distances(graph, source, banned_edge=eid, allowed_edges=h_edges)
-        if dist_h != dist_g:
+    for eid in _fault_candidates(graph, sweep_g.base_distances(), h_edges, set()):
+        if not distances_equal(sweep_h.failed(eid), sweep_g.failed(eid)):
             result.add(eid)
     return result

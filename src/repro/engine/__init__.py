@@ -1,0 +1,70 @@
+"""Pluggable traversal engines: one dispatch point for every traversal.
+
+This package is the substrate the scaling roadmap plugs into.  Every
+hop-BFS and failure sweep in the library - :mod:`repro.spt.bfs`, the
+verification oracle, the failure simulator, the experiment harness -
+routes through a :class:`~repro.engine.base.TraversalEngine` resolved by
+the registry, instead of hand-rolled per-call-site loops.
+
+Engine contract (details in :mod:`repro.engine.base`)
+-----------------------------------------------------
+* ``distances`` / ``parents`` / ``distances_subset``: masked hop BFS,
+  bit-identical across engines (tie-breaking comes from the graph's
+  adjacency-list order, which every backend must preserve).
+* ``failure_sweep``: the batched all-single-edge-failures primitive -
+  hop distances of ``G \\ {e}`` (or ``H \\ {e}`` under an
+  ``allowed_edges`` mask) for a lazily-consumed stream of edge ids.
+  Backends amortize: the csr engine computes one base BFS tree and
+  recomputes only the subtree hanging under each failed tree edge.
+* ``shortest_paths`` / ``seeded_shortest_paths``: the weighted
+  tie-broken Dijkstra; shared reference implementation (big-int weights
+  do not fit fixed-width arrays).
+
+Built-in engines
+----------------
+``"python"``
+    The executable specification (pure-Python loops).
+``"csr"``
+    Frontier-based numpy kernels over a CSR view cached on the graph;
+    registered only when numpy imports.  Default when present.
+
+Selection
+---------
+Explicit ``engine=`` keyword > :func:`engine_context` /
+:func:`set_default_engine` > the ``REPRO_ENGINE`` environment variable >
+``"csr"`` if available else ``"python"``.  The CLI exposes the same
+choice as ``repro engines`` and ``--engine {python,csr}``; parallel
+sweep workers honor :class:`repro.harness.parallel.SweepTask.engine`.
+"""
+
+from repro.engine.base import (
+    UNREACHABLE,
+    SweepHandle,
+    TraversalEngine,
+    distances_equal,
+    num_unreachable,
+)
+from repro.engine.registry import (
+    ENGINE_ENV_VAR,
+    available_engines,
+    default_engine_name,
+    engine_context,
+    get_engine,
+    register_engine,
+    set_default_engine,
+)
+
+__all__ = [
+    "UNREACHABLE",
+    "SweepHandle",
+    "TraversalEngine",
+    "distances_equal",
+    "num_unreachable",
+    "ENGINE_ENV_VAR",
+    "available_engines",
+    "default_engine_name",
+    "engine_context",
+    "get_engine",
+    "register_engine",
+    "set_default_engine",
+]

@@ -1,0 +1,206 @@
+"""The traversal-engine contract.
+
+A :class:`TraversalEngine` is the single dispatch point for every
+unweighted (hop) traversal in the library, plus the weighted tie-broken
+Dijkstra used by the construction.  Two implementations ship by default
+(see :mod:`repro.engine.registry`):
+
+``"python"``
+    The executable specification: pure-Python adjacency-list loops,
+    byte-for-byte the library's historical behavior.
+``"csr"``
+    Frontier-based numpy kernels over a cached CSR view of the graph
+    (:mod:`repro.engine.csr` / :mod:`repro.engine.kernels`).  Registered
+    only when numpy is importable.
+
+Contract
+--------
+* ``distances`` / ``parents`` / ``distances_subset`` must be
+  *bit-identical* to the python engine for every input: same distance
+  lists, same parent maps (including tie-breaking, which both engines
+  derive from the graph's adjacency-list order), same dict contents.
+* ``failure_sweep`` yields, for each requested edge id, the hop-distance
+  vector of ``G \\ {e}`` (or ``H \\ {e}`` when ``allowed_edges`` masks the
+  graph down to a structure).  Backends may return any integer sequence
+  type (the csr engine yields numpy arrays, possibly *shared* between
+  failures whose distances coincide with the no-failure base - callers
+  must treat yielded vectors as read-only); only the values are part of
+  the contract.
+* ``shortest_paths`` / ``seeded_shortest_paths`` run the weighted
+  tie-broken Dijkstra.  The composite weights are arbitrary-precision
+  Python integers (the exact scheme uses ``2**eid`` perturbations), so
+  array backends cannot represent them; both built-in engines share the
+  reference implementation in :mod:`repro.spt.dijkstra`.  A backend may
+  override only if it preserves the exact big-int semantics, including
+  :class:`~repro.errors.TieBreakError` detection.
+
+Parity between registered engines is enforced by
+``tests/test_engine_parity.py``; the python engine remains the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro._types import EdgeId, Vertex
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "TraversalEngine",
+    "SweepHandle",
+    "UNREACHABLE",
+    "distances_equal",
+    "num_unreachable",
+]
+
+#: Sentinel hop distance for unreachable vertices (shared by all engines).
+UNREACHABLE = -1
+
+
+class SweepHandle:
+    """A prepared failure sweep: one base traversal, many failures.
+
+    Obtained from :meth:`TraversalEngine.sweep`.  ``base_distances`` is
+    the no-failure distance vector (computed once and shared with every
+    no-op failure); ``failed(eid)`` is the distance vector after failing
+    ``eid``.  Ids that do not name an edge of the (masked) graph ban
+    nothing, exactly like the reference BFS's ``banned_edge`` filter.
+    Returned vectors may be shared - treat them as read-only.
+    """
+
+    def base_distances(self) -> Sequence[int]:
+        raise NotImplementedError
+
+    def failed(self, eid: EdgeId) -> Sequence[int]:
+        raise NotImplementedError
+
+
+class TraversalEngine:
+    """Abstract traversal backend; see the module docstring for the contract."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    # -- unweighted (hop) traversals -----------------------------------
+    def distances(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        banned_vertices: Optional[Set[Vertex]] = None,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> List[int]:
+        """Hop distances from ``source``; ``UNREACHABLE`` where unreached."""
+        raise NotImplementedError
+
+    def parents(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> Dict[Vertex, Vertex]:
+        """BFS parent map ``{vertex: parent}`` (source maps to itself)."""
+        raise NotImplementedError
+
+    def distances_subset(
+        self,
+        graph: Graph,
+        source: Vertex,
+        targets: Iterable[Vertex],
+        *,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        banned_vertices: Optional[Set[Vertex]] = None,
+    ) -> Dict[Vertex, int]:
+        """Hop distances to a target subset (``UNREACHABLE`` where unreached)."""
+        raise NotImplementedError
+
+    def sweep(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> SweepHandle:
+        """Prepare a failure sweep over the (optionally masked) graph.
+
+        The handle shares one base traversal between the no-failure
+        vector and every failure, so callers that need both (the
+        verification oracle) pay for the base exactly once per side.
+        """
+        raise NotImplementedError
+
+    def failure_sweep(
+        self,
+        graph: Graph,
+        source: Vertex,
+        eids: Sequence[EdgeId],
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> Iterator[Sequence[int]]:
+        """Hop-distance vectors after failing each edge of ``eids`` in turn.
+
+        Equivalent to ``distances(graph, source, banned_edge=e,
+        allowed_edges=allowed_edges)`` per edge, but backends amortize
+        work across the whole sweep via :meth:`sweep`.  Lazy: nothing is
+        computed until the first vector is consumed, so early-exiting
+        callers (verification hitting ``max_violations``) stay cheap.
+        """
+        handle: Optional[SweepHandle] = None
+        for eid in eids:
+            if handle is None:
+                handle = self.sweep(graph, source, allowed_edges=allowed_edges)
+            yield handle.failed(eid)
+
+    # -- weighted tie-broken traversals --------------------------------
+    def shortest_paths(
+        self,
+        graph: Graph,
+        weights,
+        source: Vertex,
+        *,
+        banned_vertices: Optional[Set[Vertex]] = None,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+        raise_on_tie: bool = True,
+    ):
+        """Weighted Dijkstra under composite tie-breaking weights."""
+        raise NotImplementedError
+
+    def seeded_shortest_paths(
+        self,
+        graph: Graph,
+        weights,
+        seeds,
+        *,
+        allowed_vertices: Set[Vertex],
+        banned_edge: Optional[EdgeId] = None,
+        raise_on_tie: bool = True,
+    ):
+        """Boundary-seeded Dijkstra restricted to ``allowed_vertices``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def distances_equal(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Whether two distance vectors (lists or numpy arrays) coincide."""
+    if type(a) is list and type(b) is list:
+        return a == b
+    import numpy as np
+
+    return bool(np.array_equal(a, b))
+
+
+def num_unreachable(dist: Sequence[int]) -> int:
+    """Count ``UNREACHABLE`` entries of a distance vector (list or array)."""
+    if type(dist) is list:
+        return sum(1 for d in dist if d == UNREACHABLE)
+    import numpy as np
+
+    return int(np.count_nonzero(np.asarray(dist) == UNREACHABLE))

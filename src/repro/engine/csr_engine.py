@@ -1,0 +1,146 @@
+"""The numpy/CSR engine: array kernels behind the reference contract.
+
+Hop traversals run on the cached CSR view through the kernels in
+:mod:`repro.engine.kernels`; results are converted back to the plain
+Python containers the contract promises (except ``failure_sweep``, which
+yields numpy vectors - values-only contract).  Weighted traversals use
+the shared reference Dijkstra: the composite tie-breaking weights are
+arbitrary-precision Python ints that no fixed-width array dtype can
+hold (see :mod:`repro.engine.base`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro._types import EdgeId, Vertex
+from repro.engine.base import UNREACHABLE
+from repro.engine.csr import csr_view
+from repro.engine.kernels import FailureSweep, bfs_levels, bfs_levels_ordered
+from repro.engine.python_engine import PythonEngine, _check_source
+from repro.graphs.graph import Graph
+
+__all__ = ["CSREngine"]
+
+
+def _valid_ids(ids: Iterable[int], limit: int) -> np.ndarray:
+    """Ids within ``[0, limit)``; out-of-range ids name nothing and are
+    dropped, matching the reference engine's set-membership filters
+    (numpy would otherwise wrap negatives or raise)."""
+    return np.asarray([i for i in ids if 0 <= i < limit], dtype=np.int64)
+
+
+def _edge_ok_mask(
+    m: int,
+    *,
+    banned_edge: Optional[EdgeId] = None,
+    banned_edges: Optional[Set[EdgeId]] = None,
+    allowed_edges: Optional[Set[EdgeId]] = None,
+) -> Optional[np.ndarray]:
+    """A per-edge boolean mask, or None when every edge is usable."""
+    if banned_edge is None and not banned_edges and allowed_edges is None:
+        return None
+    if allowed_edges is not None:
+        ok = np.zeros(m, dtype=bool)
+        ok[_valid_ids(allowed_edges, m)] = True
+    else:
+        ok = np.ones(m, dtype=bool)
+    if banned_edges:
+        ok[_valid_ids(banned_edges, m)] = False
+    if banned_edge is not None and 0 <= banned_edge < m:
+        ok[banned_edge] = False
+    return ok
+
+
+def _vertex_ok_mask(
+    n: int, banned_vertices: Optional[Set[Vertex]]
+) -> Optional[np.ndarray]:
+    if not banned_vertices:
+        return None
+    ok = np.ones(n, dtype=bool)
+    ok[_valid_ids(banned_vertices, n)] = False
+    return ok
+
+
+class CSREngine(PythonEngine):
+    """Array-kernel engine; inherits the weighted reference traversals."""
+
+    name = "csr"
+
+    def distances(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        banned_vertices: Optional[Set[Vertex]] = None,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> List[int]:
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        vertex_ok = _vertex_ok_mask(csr.num_vertices, banned_vertices)
+        edge_ok = _edge_ok_mask(
+            csr.num_edges,
+            banned_edge=banned_edge,
+            banned_edges=banned_edges,
+            allowed_edges=allowed_edges,
+        )
+        return bfs_levels(csr, source, edge_ok=edge_ok, vertex_ok=vertex_ok).tolist()
+
+    def parents(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> Dict[Vertex, Vertex]:
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
+        _, parent, _, level_order = bfs_levels_ordered(csr, source, edge_ok=edge_ok)
+        result: Dict[Vertex, Vertex] = {}
+        for level in level_order:
+            for v in level.tolist():
+                result[v] = int(parent[v])
+        return result
+
+    def distances_subset(
+        self,
+        graph: Graph,
+        source: Vertex,
+        targets: Iterable[Vertex],
+        *,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        banned_vertices: Optional[Set[Vertex]] = None,
+    ) -> Dict[Vertex, int]:
+        _check_source(graph, source)
+        wanted = set(targets)
+        if not wanted:
+            return {}
+        # A full masked BFS: the early-stopping reference optimization is
+        # an implementation detail, not part of the observable contract.
+        dist = self.distances(
+            graph,
+            source,
+            banned_edge=banned_edge,
+            banned_edges=banned_edges,
+            banned_vertices=banned_vertices,
+        )
+        n = graph.num_vertices
+        return {t: dist[t] if 0 <= t < n else UNREACHABLE for t in wanted}
+
+    def sweep(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> FailureSweep:
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
+        return FailureSweep(csr, source, edge_ok=edge_ok)

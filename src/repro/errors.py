@@ -16,6 +16,7 @@ __all__ = [
     "TieBreakError",
     "VerificationError",
     "ExperimentError",
+    "EngineError",
 ]
 
 
@@ -49,3 +50,7 @@ class VerificationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failure (unknown id, bad sweep, ...)."""
+
+
+class EngineError(ReproError):
+    """A traversal-engine failure (unknown engine name, unavailable backend)."""

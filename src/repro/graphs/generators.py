@@ -44,6 +44,8 @@ def gnp_random_graph(n: int, p: float, seed: int = 0) -> Graph:
         )
     # Iterate candidate pairs in lexicographic order, skipping geometrically.
     log_q = math.log(1.0 - p)
+    if log_q == 0.0:  # p below float resolution: 1 - p rounds to 1
+        return Graph(n, [], name=f"gnp({n},{p})")
     v, w = 1, -1
     while v < n:
         r = rng.random()

@@ -49,7 +49,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_edge_u", "_edge_v", "_adj", "_edge_index", "name")
+    __slots__ = ("_n", "_edge_u", "_edge_v", "_adj", "_edge_index", "name", "_csr_cache")
 
     def __init__(
         self,
@@ -67,6 +67,10 @@ class Graph:
         self._adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         self._edge_index: Dict[Endpoints, int] = {}
         self.name = name
+        # Lazily-built immutable CSR view, owned by repro.engine.csr.  The
+        # graph never mutates after construction, so the cache never needs
+        # invalidation; derived graphs start with a fresh (empty) cache.
+        self._csr_cache = None
         for u, v in edges:
             self._add_edge(int(u), int(v))
 

@@ -22,6 +22,9 @@ E10    Fig. 5/6 + Lemma 4.10: Phase S1 iteration counts
 E11    Section 1 intro example: bridge-to-clique economics
 E12    Discussion: greedy optimization ablation vs universal bound
 E13    runtime scaling of the pipeline stages
+E14    extensions: vertex-fault FT-BFS + sensitivity oracle
+E15    ablations: drop S1 / drop S2 / weights / regime dispatch
+E16    traversal engines: python reference vs csr kernels (parity+speed)
 =====  ==============================================================
 """
 
@@ -542,28 +545,28 @@ def _worst_failure_loss(
     """Max #vertices disconnected from ``source`` by one fault-prone failure.
 
     Only graph-theoretic bridges of ``H`` can disconnect anything, so the
-    check enumerates those (minus the reinforced set).
+    check enumerates those (minus the reinforced set), via one batched
+    engine failure sweep over the structure.
     """
+    from repro.engine import get_engine, num_unreachable
     from repro.graphs.properties import bridges as find_bridges
-    from repro.spt.bfs import UNREACHABLE, bfs_distances
 
+    eng = get_engine()
     h_set = set(h_edges)
     reinforced_set = set(reinforced)
     sub = graph.edge_subgraph(h_set)
-    base_unreachable = sum(
-        1 for d in bfs_distances(graph, source, allowed_edges=h_set) if d == UNREACHABLE
+    base_unreachable = num_unreachable(
+        eng.distances(graph, source, allowed_edges=h_set)
     )
-    worst = 0
+    fault_prone = []
     for sub_eid in find_bridges(sub):
         u, v = sub.endpoints(sub_eid)
         orig_eid = graph.edge_id(u, v)
-        if orig_eid in reinforced_set:
-            continue
-        dist = bfs_distances(
-            graph, source, banned_edge=orig_eid, allowed_edges=h_set
-        )
-        lost = sum(1 for d in dist if d == UNREACHABLE) - base_unreachable
-        worst = max(worst, lost)
+        if orig_eid not in reinforced_set:
+            fault_prone.append(orig_eid)
+    worst = 0
+    for dist in eng.failure_sweep(graph, source, fault_prone, allowed_edges=h_set):
+        worst = max(worst, num_unreachable(dist) - base_unreachable)
     return worst
 
 
@@ -820,6 +823,75 @@ def experiment_e15(quick: bool = False, seed: int = 0) -> ExperimentRecord:
 
 
 # ----------------------------------------------------------------------
+# E16: traversal-engine comparison (python vs csr)
+# ----------------------------------------------------------------------
+def experiment_e16(quick: bool = False, seed: int = 0) -> ExperimentRecord:
+    """Engine benchmark: verification oracle timing + parity, per engine.
+
+    Times ``verify_structure`` and ``unprotected_edges`` under every
+    registered traversal engine on the standard workloads (the structure
+    is built once per workload; construction is engine-independent).
+    Parity of the full ``VerificationReport`` and of the unprotected-edge
+    set against the python reference is asserted per row - the record
+    doubles as an executable parity certificate.
+    """
+    from repro.core import unprotected_edges, verify_subgraph
+    from repro.engine import available_engines
+
+    rec = ExperimentRecord(
+        experiment_id="E16",
+        title="Traversal engines: python reference vs csr kernels",
+        columns=[
+            "workload", "n", "m", "engine", "t_verify_s", "t_unprotected_s",
+            "speedup_verify", "parity",
+        ],
+    )
+    workloads: List[Tuple[str, Dict[str, object]]] = [
+        ("gnp", {"n": 120 if quick else 300, "avg_degree": 8.0 if quick else 15.0, "seed": seed}),
+        ("grid", {"side": 8 if quick else 14}),
+    ]
+    if not quick:
+        workloads.append(("lb_deep", {"d": 20, "k": 2, "x": 5}))
+    engines = available_engines()
+    for name, params in workloads:
+        graph, source = workload(name, **params)
+        structure = build_epsilon_ftbfs(graph, source, 0.25)
+        h_edges, e_prime = structure.edges, structure.reinforced
+        reference = None
+        ref_unprotected = None
+        ref_time = None
+        for eng_name in engines:
+            t0 = time.perf_counter()
+            report = verify_subgraph(
+                graph, source, h_edges, e_prime, engine=eng_name
+            )
+            t1 = time.perf_counter()
+            miss = unprotected_edges(graph, source, h_edges, engine=eng_name)
+            t2 = time.perf_counter()
+            if reference is None:
+                reference, ref_unprotected, ref_time = report, miss, t1 - t0
+            parity = (
+                report.ok == reference.ok
+                and report.checked_failures == reference.checked_failures
+                and report.violations == reference.violations
+                and miss == ref_unprotected
+            )
+            rec.add_row(
+                name, graph.num_vertices, graph.num_edges, eng_name,
+                round(t1 - t0, 4), round(t2 - t1, 4),
+                round(ref_time / max(t1 - t0, 1e-9), 2), parity,
+            )
+            if not parity:
+                raise ExperimentError(
+                    f"engine {eng_name!r} diverged from the reference on "
+                    f"workload {name!r}"
+                )
+    rec.note("speedup_verify is relative to the first (python reference) engine")
+    rec.note("parity asserts identical VerificationReport + unprotected_edges output")
+    return rec
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 EXPERIMENTS: Dict[str, Callable[..., ExperimentRecord]] = {
@@ -838,6 +910,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentRecord]] = {
     "E13": experiment_e13,
     "E14": experiment_e14,
     "E15": experiment_e15,
+    "E16": experiment_e16,
 }
 
 

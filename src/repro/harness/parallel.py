@@ -38,6 +38,9 @@ class SweepTask:
     source: Optional[int] = None  # None = the workload's default source
     verify: bool = False
     seed: int = 0
+    #: Traversal engine the worker runs under (None = worker's default);
+    #: a plain string, so tasks keep pickling cheaply.
+    engine: Optional[str] = None
 
     @staticmethod
     def make(
@@ -48,6 +51,7 @@ class SweepTask:
         source: Optional[int] = None,
         verify: bool = False,
         seed: int = 0,
+        engine: Optional[str] = None,
     ) -> "SweepTask":
         """Build a task from a plain parameter dict."""
         items = tuple(sorted((params or {}).items()))
@@ -58,6 +62,7 @@ class SweepTask:
             source=source,
             verify=verify,
             seed=seed,
+            engine=engine,
         )
 
 
@@ -80,20 +85,22 @@ def _execute(task: SweepTask) -> SweepOutcome:
     # Imports stay inside the worker so the module pickles minimally.
     from repro.core import build_epsilon_ftbfs, verify_structure
     from repro.core.construct import ConstructOptions
+    from repro.engine import engine_context
     from repro.harness.workloads import workload as make_workload
 
     start = time.perf_counter()
     graph, default_source = make_workload(task.workload, **dict(task.params))
     source = task.source if task.source is not None else default_source
-    structure = build_epsilon_ftbfs(
-        graph,
-        source,
-        task.epsilon,
-        options=ConstructOptions(seed=task.seed),
-    )
-    verified: Optional[bool] = None
-    if task.verify:
-        verified = verify_structure(structure).ok
+    with engine_context(task.engine):
+        structure = build_epsilon_ftbfs(
+            graph,
+            source,
+            task.epsilon,
+            options=ConstructOptions(seed=task.seed),
+        )
+        verified: Optional[bool] = None
+        if task.verify:
+            verified = verify_structure(structure).ok
     return SweepOutcome(
         task=task,
         n=graph.num_vertices,

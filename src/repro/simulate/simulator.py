@@ -19,9 +19,10 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro._types import EdgeId, Vertex
 from repro.core.structure import FTBFSStructure
+from repro.engine.base import UNREACHABLE
+from repro.engine.registry import get_engine
 from repro.graphs.graph import Graph
 from repro.simulate.events import FailureTrace
-from repro.spt.bfs import UNREACHABLE, bfs_distances
 
 __all__ = ["EventOutcome", "SimulationReport", "simulate_trace", "simulate_structure"]
 
@@ -75,30 +76,47 @@ def simulate_trace(
     source: Vertex,
     structure_edges: Iterable[EdgeId],
     trace: FailureTrace,
+    *,
+    engine: Optional[str] = None,
 ) -> SimulationReport:
-    """Replay ``trace`` against an arbitrary deployed edge set."""
+    """Replay ``trace`` against an arbitrary deployed edge set.
+
+    The per-failure distance pairs come from two batched engine sweeps
+    over the distinct failed edges (first-occurrence order), so a long
+    trace hitting few distinct edges costs two base BFS trees plus one
+    subtree recomputation per distinct tree-edge failure on the csr
+    engine.
+    """
+    eng = get_engine(engine)
     h_edges: Set[EdgeId] = set(structure_edges)
     outcomes: List[EventOutcome] = []
     violations = 0
     violated_downtime = 0.0
     total_downtime = 0.0
     worst: Optional[EventOutcome] = None
-    cache: Dict[EdgeId, EventOutcome] = {}
+
+    distinct: List[EdgeId] = []
+    seen: Set[EdgeId] = set()
+    for event in trace:
+        if event.edge not in seen:
+            seen.add(event.edge)
+            distinct.append(event.edge)
+    cache: Dict[EdgeId, Tuple[int, int, int]] = {}
+    sweep_g = eng.failure_sweep(graph, source, distinct)
+    sweep_h = eng.failure_sweep(graph, source, distinct, allowed_edges=h_edges)
+    for eid, dist_g, dist_h in zip(distinct, sweep_g, sweep_h):
+        cache[eid] = _degradation(dist_g, dist_h)
 
     for event in trace:
         total_downtime += event.downtime
-        outcome = cache.get(event.edge)
-        if outcome is None:
-            outcome = _measure(graph, source, h_edges, event.edge, event.index)
-            cache[event.edge] = outcome
-        else:
-            outcome = EventOutcome(
-                event_index=event.index,
-                edge=event.edge,
-                stretched_vertices=outcome.stretched_vertices,
-                total_extra_hops=outcome.total_extra_hops,
-                lost_vertices=outcome.lost_vertices,
-            )
+        stretched, extra, lost = cache[event.edge]
+        outcome = EventOutcome(
+            event_index=event.index,
+            edge=event.edge,
+            stretched_vertices=stretched,
+            total_extra_hops=extra,
+            lost_vertices=lost,
+        )
         outcomes.append(outcome)
         if outcome.violated:
             violations += 1
@@ -119,7 +137,10 @@ def simulate_trace(
 
 
 def simulate_structure(
-    structure: FTBFSStructure, trace: FailureTrace
+    structure: FTBFSStructure,
+    trace: FailureTrace,
+    *,
+    engine: Optional[str] = None,
 ) -> SimulationReport:
     """Replay a trace against an :class:`FTBFSStructure`.
 
@@ -137,6 +158,7 @@ def simulate_structure(
             seed=trace.seed,
             kind=trace.kind,
         ),
+        engine=engine,
     )
     # account the skipped (reinforced) events as held-guarantee downtime
     skipped = [ev for ev in trace if ev.edge in reinforced]
@@ -145,15 +167,22 @@ def simulate_structure(
     return report
 
 
-def _measure(
-    graph: Graph,
-    source: Vertex,
-    h_edges: Set[EdgeId],
-    edge: EdgeId,
-    event_index: int,
-) -> EventOutcome:
-    dist_g = bfs_distances(graph, source, banned_edge=edge)
-    dist_h = bfs_distances(graph, source, banned_edge=edge, allowed_edges=h_edges)
+def _degradation(dist_g, dist_h) -> Tuple[int, int, int]:
+    """``(stretched, extra_hops, lost)`` of a structure vs the survivors.
+
+    Accepts engine-native distance vectors: numpy arrays take the
+    vectorized path, anything else the reference loop - results match.
+    """
+    if type(dist_g) is not list or type(dist_h) is not list:
+        import numpy as np
+
+        dg = np.asarray(dist_g)
+        dh = np.asarray(dist_h)
+        alive = dg != UNREACHABLE  # the surviving network
+        lost_mask = alive & (dh == UNREACHABLE)
+        stretched_mask = alive & ~lost_mask & (dh > dg)
+        extra = int((dh - dg)[stretched_mask].sum())
+        return int(stretched_mask.sum()), extra, int(lost_mask.sum())
     stretched = 0
     extra = 0
     lost = 0
@@ -165,10 +194,4 @@ def _measure(
         elif dh > dg:
             stretched += 1
             extra += dh - dg
-    return EventOutcome(
-        event_index=event_index,
-        edge=edge,
-        stretched_vertices=stretched,
-        total_extra_hops=extra,
-        lost_vertices=lost,
-    )
+    return stretched, extra, lost

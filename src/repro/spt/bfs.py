@@ -1,115 +1,87 @@
-"""Plain breadth-first search on hop counts.
+"""Plain breadth-first search on hop counts - engine dispatch facade.
 
 The verification oracle compares hop distances in ``G \\ {e}`` and
 ``H \\ {e}``; hop BFS (no tie-breaking needed) is the fastest way to get
-them.  ``banned_edge``/``banned_vertices`` implement failure simulation
-without copying the graph.
+them.  ``banned_edge``/``banned_edges``/``banned_vertices`` implement
+failure simulation without copying the graph.
+
+Since the engine refactor these functions are thin wrappers over the
+active :class:`~repro.engine.base.TraversalEngine` (see
+:mod:`repro.engine`): the pure-Python loops live in
+:mod:`repro.engine.python_engine`, the numpy/CSR kernels in
+:mod:`repro.engine.kernels`, and results are bit-identical across
+engines.  Pass ``engine="python"``/``"csr"`` to pin a backend per call;
+otherwise the registry default applies.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro._types import EdgeId, Vertex
-from repro.errors import GraphError
-from repro.graphs.graph import Graph
+from repro.engine.base import UNREACHABLE
+from repro.engine.registry import get_engine
 
 __all__ = ["bfs_distances", "bfs_tree", "bfs_distances_subset", "UNREACHABLE"]
 
-#: Sentinel hop distance for unreachable vertices.
-UNREACHABLE = -1
-
 
 def bfs_distances(
-    graph: Graph,
+    graph,
     source: Vertex,
     *,
     banned_edge: Optional[EdgeId] = None,
     banned_edges: Optional[Set[EdgeId]] = None,
     banned_vertices: Optional[Set[Vertex]] = None,
     allowed_edges: Optional[Set[EdgeId]] = None,
+    engine: Optional[str] = None,
 ) -> List[int]:
     """Hop distances from ``source``; ``UNREACHABLE`` marks unreached vertices.
 
     ``allowed_edges`` (if given) restricts traversal to a subset of edges -
     used to run BFS inside a structure ``H`` without materializing it.
     """
-    n = graph.num_vertices
-    if not 0 <= source < n:
-        raise GraphError(f"source {source} out of range for n={n}")
-    dist = [UNREACHABLE] * n
-    if banned_vertices and source in banned_vertices:
-        return dist
-    dist[source] = 0
-    queue = deque([source])
-    banned_v = banned_vertices or ()
-    banned_e = banned_edges or ()
-    while queue:
-        v = queue.popleft()
-        dv = dist[v]
-        for w, eid in graph.adjacency(v):
-            if eid == banned_edge or eid in banned_e:
-                continue
-            if allowed_edges is not None and eid not in allowed_edges:
-                continue
-            if w in banned_v:
-                continue
-            if dist[w] == UNREACHABLE:
-                dist[w] = dv + 1
-                queue.append(w)
-    return dist
+    return get_engine(engine).distances(
+        graph,
+        source,
+        banned_edge=banned_edge,
+        banned_edges=banned_edges,
+        banned_vertices=banned_vertices,
+        allowed_edges=allowed_edges,
+    )
 
 
 def bfs_tree(
-    graph: Graph,
+    graph,
     source: Vertex,
     *,
     allowed_edges: Optional[Set[EdgeId]] = None,
+    engine: Optional[str] = None,
 ) -> Dict[Vertex, Vertex]:
     """A BFS parent map ``{vertex: parent}`` (source maps to itself)."""
-    parent: Dict[Vertex, Vertex] = {source: source}
-    queue = deque([source])
-    while queue:
-        v = queue.popleft()
-        for w, eid in graph.adjacency(v):
-            if allowed_edges is not None and eid not in allowed_edges:
-                continue
-            if w not in parent:
-                parent[w] = v
-                queue.append(w)
-    return parent
+    return get_engine(engine).parents(graph, source, allowed_edges=allowed_edges)
 
 
 def bfs_distances_subset(
-    graph: Graph,
+    graph,
     source: Vertex,
     targets: Iterable[Vertex],
     *,
     banned_edge: Optional[EdgeId] = None,
+    banned_edges: Optional[Set[EdgeId]] = None,
+    banned_vertices: Optional[Set[Vertex]] = None,
+    engine: Optional[str] = None,
 ) -> Dict[Vertex, int]:
-    """Hop distances to a target subset, stopping once all are settled."""
-    remaining = set(targets)
-    result: Dict[Vertex, int] = {}
-    if not remaining:
-        return result
-    dist = {source: 0}
-    if source in remaining:
-        result[source] = 0
-        remaining.discard(source)
-    queue = deque([source])
-    while queue and remaining:
-        v = queue.popleft()
-        dv = dist[v]
-        for w, eid in graph.adjacency(v):
-            if eid == banned_edge:
-                continue
-            if w not in dist:
-                dist[w] = dv + 1
-                if w in remaining:
-                    result[w] = dv + 1
-                    remaining.discard(w)
-                queue.append(w)
-    for t in remaining:
-        result[t] = UNREACHABLE
-    return result
+    """Hop distances to a target subset, stopping once all are settled.
+
+    Honors the same multi-failure keywords as :func:`bfs_distances`:
+    ``banned_edges`` and ``banned_vertices`` simulate compound failures
+    (a banned *source* makes every target ``UNREACHABLE``).
+    """
+    return get_engine(engine).distances_subset(
+        graph,
+        source,
+        targets,
+        banned_edge=banned_edge,
+        banned_edges=banned_edges,
+        banned_vertices=banned_vertices,
+    )

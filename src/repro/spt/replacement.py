@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro._types import EdgeId, Vertex
+from repro.engine.registry import get_engine
 from repro.errors import GraphError
-from repro.spt.dijkstra import seeded_dijkstra
 from repro.spt.spt_tree import ShortestPathTree
 
 __all__ = ["EdgeFailure", "ReplacementEngine"]
@@ -115,7 +115,10 @@ class ReplacementEngine:
                 seeds.append((da + w_arr[cross_eid], b, a, cross_eid))
 
         if seeds:
-            sp = seeded_dijkstra(
+            # Dispatched through the engine layer; the weighted seeded
+            # traversal is shared by both built-in engines (big-int
+            # weights - see repro.engine.base).
+            sp = get_engine().seeded_shortest_paths(
                 graph,
                 weights,
                 seeds,

@@ -87,3 +87,44 @@ class TestBfsSubset:
 
     def test_empty_targets(self):
         assert bfs_distances_subset(path_graph(3), 0, []) == {}
+
+    def test_subset_banned_edges(self):
+        g = cycle_graph(5)
+        result = bfs_distances_subset(
+            g, 0, [1, 3], banned_edges={g.edge_id(0, 1), g.edge_id(0, 4)}
+        )
+        assert result == {1: UNREACHABLE, 3: UNREACHABLE}
+
+    def test_subset_banned_vertices(self):
+        g = cycle_graph(6)
+        result = bfs_distances_subset(g, 0, [3], banned_vertices={1})
+        assert result == {3: 3}
+        blocked = bfs_distances_subset(g, 0, [3], banned_vertices={1, 5})
+        assert blocked == {3: UNREACHABLE}
+
+    def test_subset_banned_source(self):
+        g = path_graph(4)
+        result = bfs_distances_subset(g, 0, [0, 2], banned_vertices={0})
+        assert result == {0: UNREACHABLE, 2: UNREACHABLE}
+
+    def test_subset_combined_bans_match_full_bfs(self):
+        g = gnp_random_graph(25, 0.2, seed=5)
+        bans = dict(
+            banned_edge=0,
+            banned_edges={1, 2},
+            banned_vertices={7},
+        )
+        full = bfs_distances(g, 0, **bans)
+        subset = bfs_distances_subset(g, 0, range(25), **bans)
+        assert subset == {v: full[v] for v in range(25)}
+
+
+class TestEngineKeyword:
+    @pytest.mark.parametrize("engine", ["python", "csr"])
+    def test_explicit_engine_pins_backend(self, engine):
+        g = gnp_random_graph(20, 0.25, seed=1)
+        assert bfs_distances(g, 0, engine=engine) == bfs_distances(g, 0)
+        assert bfs_tree(g, 0, engine=engine) == bfs_tree(g, 0)
+        assert bfs_distances_subset(g, 0, [3, 9], engine=engine) == (
+            bfs_distances_subset(g, 0, [3, 9])
+        )

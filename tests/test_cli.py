@@ -27,6 +27,34 @@ class TestList:
         assert "E1" in out and "gnp" in out
 
 
+class TestEngines:
+    def test_lists_engines_with_default(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out and "csr" in out and "(default)" in out
+
+    def test_build_with_engine_flag(self, capsys):
+        for engine in ("python", "csr"):
+            rc = main(
+                ["build", "--workload", "gnp", "--n", "40",
+                 "--epsilon", "0.3", "--engine", engine]
+            )
+            assert rc == 0
+            assert "verified: True" in capsys.readouterr().out
+
+    def test_engine_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--engine", "fpga"])
+
+    def test_engine_flag_resets_default(self):
+        from repro.engine import get_engine
+
+        before = get_engine().name
+        assert main(["build", "--workload", "grid", "--no-verify",
+                     "--engine", "python"]) == 0
+        assert get_engine().name == before
+
+
 class TestQuickstart:
     def test_runs(self, capsys):
         assert main(["quickstart"]) == 0
