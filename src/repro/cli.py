@@ -3,10 +3,15 @@
 Subcommands
 -----------
 ``list``
-    List experiments and workloads.
+    List experiments (with their one-line spec descriptions) and
+    workloads.
 ``run E1 [E2 ...]`` (or ``run all``)
-    Run experiments and print their tables (``--quick`` for small sweeps,
-    ``--save`` to write artifacts).
+    Run experiments through the scenario pipeline and print their
+    tables.  ``--quick`` shrinks the sweeps; ``--jobs N`` fans sweep
+    points out over N worker processes (0 = auto); ``--save`` writes
+    ``bench_artifacts/`` and streams per-point JSONL as points finish,
+    so an interrupted run resumes from its cache (``--fresh`` discards
+    cached points first).
 ``build``
     Build a structure for a named workload and report its sizes.
 ``quickstart``
@@ -35,8 +40,10 @@ from repro.engine import (
     get_engine,
 )
 from repro.harness import (
+    SPECS,
+    PipelineRunner,
+    artifacts_dir,
     experiment_ids,
-    run_experiment,
     save_record,
     workload,
     workload_names,
@@ -71,7 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E3, or 'all'")
     run_p.add_argument("--quick", action="store_true", help="small sweeps")
     run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument("--save", action="store_true", help="write bench_artifacts/")
+    run_p.add_argument(
+        "--save",
+        action="store_true",
+        help="write bench_artifacts/ + stream resumable per-point JSONL",
+    )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (0 = auto, honors $REPRO_MAX_WORKERS)",
+    )
+    run_p.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore previously cached points (with --save)",
+    )
     add_engine_flag(run_p)
 
     build_p = sub.add_parser("build", help="build one structure and report")
@@ -92,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_list() -> int:
     print("experiments:")
     for eid in experiment_ids():
-        print(f"  {eid}")
+        print(f"  {eid:<4} {SPECS[eid].description}")
     print("workloads:")
     for name in workload_names():
         print(f"  {name}")
@@ -110,18 +132,37 @@ def _cmd_engines() -> int:
     return 0
 
 
-def _cmd_run(ids: Sequence[str], quick: bool, seed: int, save: bool) -> int:
+def _cmd_run(
+    ids: Sequence[str],
+    quick: bool,
+    seed: int,
+    save: bool,
+    jobs: int,
+    fresh: bool,
+    engine: Optional[str],
+) -> int:
     requested: List[str] = []
     for eid in ids:
         if eid.lower() == "all":
             requested = experiment_ids()
             break
         requested.append(eid.upper())
+    runner = PipelineRunner(
+        jobs=jobs,
+        cache_dir=artifacts_dir() if save else None,
+        engine=engine,
+        fresh=fresh,
+    )
     status = 0
     for eid in requested:
-        record = run_experiment(eid, quick=quick, seed=seed)
+        record = runner.run(eid, quick=quick, seed=seed)
         print(record.render())
-        print(f"  (elapsed {format_seconds(record.elapsed_seconds)})\n")
+        cached = record.params.get("cached", 0)
+        resumed = f", {cached} cached" if cached else ""
+        print(
+            f"  (elapsed {format_seconds(record.elapsed_seconds)}; "
+            f"{record.params.get('points', 0)} points{resumed})\n"
+        )
         if save:
             path = save_record(record)
             print(f"  saved -> {path}\n")
@@ -164,7 +205,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "engines":
             return _cmd_engines()
         if args.command == "run":
-            return _cmd_run(args.ids, args.quick, args.seed, args.save)
+            return _cmd_run(
+                args.ids, args.quick, args.seed, args.save,
+                args.jobs, args.fresh, args.engine,
+            )
         if args.command == "build":
             return _cmd_build(
                 args.workload, args.n, args.epsilon, args.seed, args.no_verify

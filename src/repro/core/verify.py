@@ -22,8 +22,11 @@ one lazy sweep over the graph side and one over the structure side.  On
 the csr engine each sweep reuses a single base BFS tree and recomputes
 only the subtree hanging under a failed tree edge, which is what makes
 ``verify_structure`` fast at scale; the python engine runs the historical
-two-BFS-per-failure loop.  Verdicts, counts, and violations are
-bit-identical across engines (enforced by the parity tests).
+two-BFS-per-failure loop.  Graphs above ``REPRO_SHARD_THRESHOLD`` edges
+(default 200000) are automatically verified under the process-sharded
+engine (:mod:`repro.engine.sharded`), which splits each sweep across
+worker processes.  Verdicts, counts, and violations are bit-identical
+across engines — sharded included (enforced by the parity tests).
 
 It also exposes :func:`unprotected_edges`, the measured set the paper
 calls ``E_miss(H)`` - handy for evaluating *any* candidate subgraph, not
@@ -41,6 +44,7 @@ from repro.engine.registry import get_engine
 from repro.errors import VerificationError
 from repro.graphs.graph import Graph
 from repro.core.structure import FTBFSStructure
+from repro.util.validation import env_int
 
 __all__ = [
     "Violation",
@@ -84,6 +88,81 @@ class VerificationReport:
                 f"structure verification failed with {len(self.violations)} "
                 f"violations; first: {first}"
             )
+
+
+#: Edge count above which verification auto-upgrades to the sharded engine.
+SHARD_THRESHOLD_ENV_VAR = "REPRO_SHARD_THRESHOLD"
+
+_DEFAULT_SHARD_THRESHOLD = 200_000
+
+
+def _resolve_engine(graph: Graph, engine: Optional[str]):
+    """The engine to verify under: explicit > sharded-if-large > default.
+
+    The upgrade only changes *where* sweeps run, never their values (the
+    sharded engine is bit-identical to its base by construction), so the
+    report is the same either way.
+    """
+    eng = get_engine(engine)
+    if engine is not None or eng.name == "sharded":
+        return eng
+    threshold = env_int(SHARD_THRESHOLD_ENV_VAR, _DEFAULT_SHARD_THRESHOLD)
+    if graph.num_edges >= threshold:
+        try:
+            return get_engine("sharded")
+        except Exception:  # pragma: no cover - sharded is always registered
+            return eng
+    return eng
+
+
+def _two_sided_sweep(
+    eng,
+    graph: Graph,
+    source: Vertex,
+    h_edges: Set[EdgeId],
+    *,
+    need_base_h: bool = True,
+):
+    """``(base_g, base_h, pairs)`` for the oracle's two sweep sides.
+
+    ``pairs(candidates)`` yields ``(eid, dist_g, dist_h)`` per failure.
+    In-process engines go through one shared sweep handle per side, so
+    the base traversal is computed exactly once and reused by every
+    failure.  The sharded engine streams both sides through its
+    process-fanned ``failure_sweep`` instead — each side gets a
+    half-budget copy so the two concurrently consumed sweeps share the
+    machine's worker budget rather than doubling it; callers that never
+    look at the structure-side base (``unprotected_edges``) pass
+    ``need_base_h=False`` to skip that traversal.  Values are identical
+    either way (sharding never affects results).
+    """
+    if eng.name == "sharded":
+        base_g = eng.distances(graph, source)
+        base_h = (
+            eng.distances(graph, source, allowed_edges=h_edges)
+            if need_base_h
+            else None
+        )
+
+        def pairs(candidates: List[EdgeId]):
+            sweep_g = eng.halved().failure_sweep(graph, source, candidates)
+            sweep_h = eng.halved().failure_sweep(
+                graph, source, candidates, allowed_edges=h_edges
+            )
+            return zip(candidates, sweep_g, sweep_h)
+
+        return base_g, base_h, pairs
+
+    handle_g = eng.sweep(graph, source)
+    handle_h = eng.sweep(graph, source, allowed_edges=h_edges)
+
+    def pairs(candidates: List[EdgeId]):
+        return (
+            (eid, handle_g.failed(eid), handle_h.failed(eid))
+            for eid in candidates
+        )
+
+    return handle_g.base_distances(), handle_h.base_distances(), pairs
 
 
 def verify_structure(
@@ -143,29 +222,24 @@ def verify_subgraph(
     engine: Optional[str] = None,
 ) -> VerificationReport:
     """Verify an arbitrary edge set ``H`` with reinforced subset ``E'``."""
-    eng = get_engine(engine)
+    eng = _resolve_engine(graph, engine)
     h_edges: Set[EdgeId] = set(structure_edges)
     e_prime: Set[EdgeId] = set(reinforced)
     violations: List[Violation] = []
     checked = 0
-
-    # One sweep handle per side: the base traversal below is the same one
-    # the per-failure computations reuse.
-    sweep_g = eng.sweep(graph, source)
-    sweep_h = eng.sweep(graph, source, allowed_edges=h_edges)
+    base_g, base_h, pairs = _two_sided_sweep(eng, graph, source, h_edges)
 
     # --- no-failure case ------------------------------------------------
-    base_g = sweep_g.base_distances()
-    base_h = sweep_h.base_distances()
     checked += 1
     _compare(None, base_h, base_g, violations, max_violations)
     if len(violations) >= max_violations:
         return VerificationReport(False, checked, violations)
 
-    # --- failures (batched through the sweep handles) -------------------
-    for eid in _fault_candidates(graph, base_g, h_edges, e_prime):
-        dist_g = sweep_g.failed(eid)
-        dist_h = sweep_h.failed(eid)
+    # --- failures (two batched sweeps, consumed in lockstep) -------------
+    # Early exit on max_violations just stops consuming the pair stream.
+    for eid, dist_g, dist_h in pairs(
+        _fault_candidates(graph, base_g, h_edges, e_prime)
+    ):
         checked += 1
         if distances_equal(dist_h, dist_g):
             continue
@@ -204,12 +278,15 @@ def unprotected_edges(
     minimal valid reinforcement set for ``H`` - useful to evaluate
     candidate structures produced by any method.
     """
-    eng = get_engine(engine)
+    eng = _resolve_engine(graph, engine)
     h_edges: Set[EdgeId] = set(structure_edges)
-    sweep_g = eng.sweep(graph, source)
-    sweep_h = eng.sweep(graph, source, allowed_edges=h_edges)
+    base_g, _base_h, pairs = _two_sided_sweep(
+        eng, graph, source, h_edges, need_base_h=False
+    )
     result: Set[EdgeId] = set()
-    for eid in _fault_candidates(graph, sweep_g.base_distances(), h_edges, set()):
-        if not distances_equal(sweep_h.failed(eid), sweep_g.failed(eid)):
+    for eid, dist_g, dist_h in pairs(
+        _fault_candidates(graph, base_g, h_edges, set())
+    ):
+        if not distances_equal(dist_h, dist_g):
             result.add(eid)
     return result

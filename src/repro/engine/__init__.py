@@ -27,6 +27,10 @@ Built-in engines
 ``"csr"``
     Frontier-based numpy kernels over a CSR view cached on the graph;
     registered only when numpy imports.  Default when present.
+``"sharded"``
+    Process-sharded ``failure_sweep`` over a single-process base engine
+    (:mod:`repro.engine.sharded`); bit-identical to the base, used for
+    large graphs and never the implicit default.
 
 Selection
 ---------
@@ -53,8 +57,10 @@ from repro.engine.registry import (
     register_engine,
     set_default_engine,
 )
+from repro.engine.sharded import ShardedEngine
 
 __all__ = [
+    "ShardedEngine",
     "UNREACHABLE",
     "SweepHandle",
     "TraversalEngine",

@@ -12,6 +12,11 @@ Dijkstra used by the construction.  Two implementations ship by default
     Frontier-based numpy kernels over a cached CSR view of the graph
     (:mod:`repro.engine.csr` / :mod:`repro.engine.kernels`).  Registered
     only when numpy is importable.
+``"sharded"``
+    A wrapper (:mod:`repro.engine.sharded`) that delegates everything to
+    a single-process base engine but fans ``failure_sweep`` batches out
+    over worker processes — the sweep is embarrassingly parallel over
+    edge ids, and contiguous sharding keeps it bit-identical to the base.
 
 Contract
 --------

@@ -8,7 +8,10 @@ Selection precedence for :func:`get_engine` with no explicit name:
 
 Built-in engines register lazily on first lookup, so importing this
 module costs nothing and works without numpy (the csr engine is simply
-absent then).
+absent then).  ``"sharded"`` (the process-sharded ``failure_sweep``
+wrapper, :mod:`repro.engine.sharded`) is always registered but never
+the implicit default — it is selected explicitly or by the verification
+oracle's large-graph threshold.
 """
 
 from __future__ import annotations
@@ -43,8 +46,10 @@ def _ensure_builtins() -> None:
         return
     _builtins_loaded = True
     from repro.engine.python_engine import PythonEngine
+    from repro.engine.sharded import ShardedEngine
 
     register_engine(PythonEngine())
+    register_engine(ShardedEngine())
     try:
         from repro.engine.csr_engine import CSREngine
     except ImportError:  # numpy unavailable: the fast backend is gated out

@@ -1,0 +1,225 @@
+"""Process-sharded failure sweeps: the ROADMAP's cross-process engine.
+
+The all-single-edge-failures sweep is embarrassingly parallel over the
+requested edge ids, so :class:`ShardedEngine` wraps any single-process
+engine and fans :meth:`failure_sweep` batches out over worker processes;
+every other primitive delegates to the wrapped engine unchanged.  The
+sweep stays **bit-identical** to the base engine by construction: shards
+are contiguous slices of the request, each shard is computed by the base
+engine itself, and vectors are yielded back in request order.
+
+Sharding only pays when each worker amortizes its pickled copy of the
+graph plus its own base BFS over many failures, so small sweeps (fewer
+than ``min_batch`` edges per prospective worker) and sweeps already
+running inside a harness pool worker (``REPRO_IN_WORKER``) degrade to
+the base engine in-process.  The verification oracle auto-upgrades to
+this engine for graphs above ``REPRO_SHARD_THRESHOLD`` edges (see
+:mod:`repro.core.verify`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro._types import EdgeId, Vertex
+from repro.engine.base import SweepHandle, TraversalEngine
+from repro.graphs.graph import Graph
+
+__all__ = ["ShardedEngine", "SHARD_MIN_BATCH_ENV_VAR"]
+
+#: Overrides the minimum per-worker batch size (default 64).
+SHARD_MIN_BATCH_ENV_VAR = "REPRO_SHARD_MIN_BATCH"
+
+_DEFAULT_MIN_BATCH = 64
+
+
+def _sweep_shard(
+    graph: Graph,
+    source: Vertex,
+    eids: List[EdgeId],
+    allowed_edges: Optional[Set[EdgeId]],
+    engine_name: str,
+) -> List[Sequence[int]]:
+    """Worker body: run one contiguous slice of the sweep on the base engine."""
+    from repro.engine.registry import get_engine
+
+    engine = get_engine(engine_name)
+    return list(
+        engine.failure_sweep(graph, source, eids, allowed_edges=allowed_edges)
+    )
+
+
+class ShardedEngine(TraversalEngine):
+    """Wrap a single-process engine, sharding ``failure_sweep`` across processes."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        base: Optional[str] = None,
+        *,
+        max_workers: Optional[int] = None,
+        min_batch: Optional[int] = None,
+    ) -> None:
+        self._base_name = base
+        self._max_workers = max_workers
+        self._min_batch = min_batch
+
+    # -- delegation ----------------------------------------------------
+    def base_engine(self) -> TraversalEngine:
+        """The wrapped single-process engine (never sharded itself)."""
+        from repro.engine.registry import available_engines, get_engine
+
+        if self._base_name is not None:
+            return get_engine(self._base_name)
+        engine = get_engine()
+        if engine.name != self.name:
+            return engine
+        # The process default *is* the sharded engine: fall back to the
+        # fastest single-process backend.
+        names = [n for n in available_engines() if n != self.name]
+        return get_engine(names[-1] if names else "python")
+
+    def distances(self, graph, source, **kwargs):
+        return self.base_engine().distances(graph, source, **kwargs)
+
+    def parents(self, graph, source, **kwargs):
+        return self.base_engine().parents(graph, source, **kwargs)
+
+    def distances_subset(self, graph, source, targets, **kwargs):
+        return self.base_engine().distances_subset(graph, source, targets, **kwargs)
+
+    def sweep(self, graph, source, *, allowed_edges=None) -> SweepHandle:
+        return self.base_engine().sweep(graph, source, allowed_edges=allowed_edges)
+
+    def shortest_paths(self, graph, weights, source, **kwargs):
+        return self.base_engine().shortest_paths(graph, weights, source, **kwargs)
+
+    def seeded_shortest_paths(self, graph, weights, seeds, **kwargs):
+        return self.base_engine().seeded_shortest_paths(graph, weights, seeds, **kwargs)
+
+    def halved(self) -> "ShardedEngine":
+        """A copy capped at half this engine's worker budget.
+
+        For callers that consume *two* sweeps in lockstep (the
+        verification oracle runs a graph-side and a structure-side sweep
+        concurrently): giving each side half the budget keeps the total
+        process count at the machine's worker budget instead of twice it.
+        """
+        from repro.harness.parallel import default_worker_count
+
+        workers = (
+            self._max_workers
+            if self._max_workers is not None
+            else default_worker_count()
+        )
+        return ShardedEngine(
+            base=self._base_name,
+            max_workers=max(1, workers // 2),
+            min_batch=self._min_batch,
+        )
+
+    # -- the sharded primitive -----------------------------------------
+    def _effective_min_batch(self) -> int:
+        if self._min_batch is not None:
+            return self._min_batch
+        from repro.util.validation import env_int
+
+        return env_int(SHARD_MIN_BATCH_ENV_VAR, _DEFAULT_MIN_BATCH)
+
+    def _plan(self, num_eids: int) -> int:
+        """Number of worker processes to use (1 = stay in-process)."""
+        from repro.harness.parallel import default_worker_count, in_worker_process
+
+        if in_worker_process():
+            return 1  # never nest pools under the harness fanout
+        min_batch = self._effective_min_batch()
+        workers = (
+            self._max_workers
+            if self._max_workers is not None
+            else default_worker_count()
+        )
+        return max(1, min(workers, num_eids // max(1, min_batch)))
+
+    def failure_sweep(
+        self,
+        graph: Graph,
+        source: Vertex,
+        eids: Sequence[EdgeId],
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> Iterator[Sequence[int]]:
+        """Hop-distance vectors per failed edge, sharded over processes.
+
+        Contiguous slices of ``eids`` go to workers running the base
+        engine; vectors come back in request order, so output is
+        bit-identical to the base engine's own sweep.
+        """
+        base = self.base_engine()
+        eid_list = list(eids)
+        workers = self._plan(len(eid_list))
+        if workers <= 1:
+            yield from base.failure_sweep(
+                graph, source, eid_list, allowed_edges=allowed_edges
+            )
+            return
+        yield from self._sharded_sweep(
+            base.name, graph, source, eid_list, allowed_edges, workers,
+            self._effective_min_batch(),
+        )
+
+    def _sharded_sweep(
+        self,
+        base_name: str,
+        graph: Graph,
+        source: Vertex,
+        eid_list: List[EdgeId],
+        allowed_edges: Optional[Set[EdgeId]],
+        workers: int,
+        min_batch: int,
+    ) -> Iterator[Sequence[int]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Shards never drop below min_batch edges (each one re-pickles
+        # the graph and recomputes a base BFS — the fixed cost _plan's
+        # economics assume); beyond that, up to 4 shards per worker
+        # keeps the pool busy through the tail.
+        num_shards = min(
+            workers * 4, max(workers, len(eid_list) // max(1, min_batch))
+        )
+        num_shards = max(1, min(num_shards, len(eid_list)))
+        bounds = [
+            (len(eid_list) * i) // num_shards for i in range(num_shards + 1)
+        ]
+        shards = [
+            eid_list[bounds[i] : bounds[i + 1]]
+            for i in range(num_shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+        # No context manager: an abandoned generator (verify early-exits
+        # on max_violations) must not block on in-flight shards, so the
+        # finally shuts down without waiting and lets running workers
+        # finish in the background.
+        pool = ProcessPoolExecutor(max_workers=workers)
+        # Bounded submission window: at most workers + 2 shards are
+        # in flight or completed-but-undrained at once, so parent
+        # memory stays O(window * shard vectors) no matter how much
+        # faster the pool produces than the caller consumes.
+        window = workers + 2
+        pending = []
+        next_shard = 0
+        try:
+            while next_shard < len(shards) or pending:
+                while next_shard < len(shards) and len(pending) < window:
+                    pending.append(
+                        pool.submit(
+                            _sweep_shard, graph, source,
+                            shards[next_shard], allowed_edges, base_name,
+                        )
+                    )
+                    next_shard += 1
+                future = pending.pop(0)  # request order
+                for vector in future.result():
+                    yield vector
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

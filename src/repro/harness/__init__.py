@@ -1,11 +1,29 @@
-"""Experiment harness: registry, records, workloads."""
+"""Experiment harness: the scenario pipeline, records, workloads, fanout.
 
-from repro.harness.experiments import EXPERIMENTS, experiment_ids, run_experiment
+The experiment registry lives in :mod:`repro.harness.pipeline` — each of
+E1–E16 is a declarative :class:`~repro.harness.pipeline.spec.ScenarioSpec`
+executed by the shared :class:`~repro.harness.pipeline.runner.PipelineRunner`
+over the process-pool stage layer in :mod:`repro.harness.parallel`.
+``EXPERIMENTS`` maps experiment id to its spec.
+"""
+
 from repro.harness.parallel import (
+    StageTask,
     SweepOutcome,
     SweepTask,
     default_worker_count,
+    run_stage_tasks,
     run_sweep,
+)
+from repro.harness.pipeline import (
+    SPECS,
+    PipelineRunner,
+    PointResult,
+    ScenarioSpec,
+    experiment_ids,
+    get_spec,
+    mask_timing,
+    run_experiment,
 )
 from repro.harness.records import (
     ExperimentRecord,
@@ -15,13 +33,24 @@ from repro.harness.records import (
 )
 from repro.harness.workloads import WORKLOADS, workload, workload_names
 
+#: Experiment id -> :class:`ScenarioSpec` (the registry's historical name).
+EXPERIMENTS = SPECS
+
 __all__ = [
     "EXPERIMENTS",
+    "SPECS",
+    "PipelineRunner",
+    "PointResult",
+    "ScenarioSpec",
+    "get_spec",
+    "mask_timing",
     "experiment_ids",
     "run_experiment",
+    "StageTask",
     "SweepOutcome",
     "SweepTask",
     "default_worker_count",
+    "run_stage_tasks",
     "run_sweep",
     "ExperimentRecord",
     "artifacts_dir",

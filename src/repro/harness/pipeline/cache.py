@@ -1,0 +1,130 @@
+"""Content-keyed JSONL point cache: streaming persistence + resume.
+
+Every finished point is appended to ``<artifacts>/<EID>.points.jsonl``
+as one self-describing line::
+
+    {"key": "...", "experiment": "E1", "index": 3,
+     "payload": {...}, "elapsed": 0.41, "result": {"rows": [...], "facts": {...}}}
+
+The ``key`` is a content hash over everything that determines the
+result — experiment id, measure-stage reference plus the source of the
+module defining it (:func:`stage_fingerprint`), columns, payload,
+quick/seed, and the pinned engine — so editing a spec module (its
+grids, measure stages, or helpers) invalidates the affected points.
+The fingerprint's boundary is the spec module: edits deeper in the
+library (construction, engines, workload generators) are invisible to
+it, so re-measure with ``--fresh`` after such changes.  A resumed run
+loads the file, keeps the newest line per key, skips those points, and
+appends only what it actually re-measures; a line truncated by a
+mid-write kill is simply ignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.harness.pipeline.spec import ScenarioSpec
+
+__all__ = [
+    "point_key",
+    "stage_fingerprint",
+    "load_points",
+    "append_point",
+    "points_path",
+]
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def stage_fingerprint(spec: ScenarioSpec) -> str:
+    """A hash of the spec module's source, so code edits bust the cache.
+
+    Without this, fixing a bug in a measure stage would silently replay
+    stale cached rows.  Hashing the whole defining module (not just the
+    one function) also catches edits to grids and spec-local helpers;
+    edits *below* the spec module (library, engines, workloads) are out
+    of scope — use ``fresh=True`` after those.  Unreadable source
+    (REPL, frozen app) degrades to the reference string — resume still
+    works, but then every code edit requires ``fresh=True``.
+    """
+    from repro.harness.parallel import resolve_stage
+
+    try:
+        fn = resolve_stage(spec.measure)
+        source = inspect.getsource(inspect.getmodule(fn) or fn)
+    except (OSError, TypeError):
+        source = spec.measure
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+
+
+def point_key(
+    spec: ScenarioSpec,
+    payload: Dict[str, Any],
+    *,
+    quick: bool,
+    seed: int,
+    engine: Optional[str],
+    fingerprint: Optional[str] = None,
+) -> str:
+    """Content hash identifying one (spec, point, seed, engine) result.
+
+    ``fingerprint`` is the measure stage's :func:`stage_fingerprint`;
+    callers keying many points compute it once and pass it in.
+    """
+    blob = canonical_json(
+        {
+            "experiment": spec.experiment_id,
+            "measure": spec.measure,
+            "code": fingerprint if fingerprint is not None else stage_fingerprint(spec),
+            "columns": list(spec.columns),
+            "payload": payload,
+            "quick": quick,
+            "seed": seed,
+            "engine": engine or "",
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def points_path(directory: Path, experiment_id: str) -> Path:
+    """The JSONL stream for one experiment's points."""
+    return Path(directory) / f"{experiment_id}.points.jsonl"
+
+
+def load_points(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Parse a points file into ``{key: line}``, newest line per key.
+
+    Corrupt lines (a run killed mid-write leaves at most one, at the
+    end) and lines missing the expected fields are skipped silently:
+    the runner just re-measures those points.
+    """
+    entries: Dict[str, Dict[str, Any]] = {}
+    if not path.exists():
+        return entries
+    with io.open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = data.get("key")
+            if isinstance(key, str) and isinstance(data.get("result"), dict):
+                entries[key] = data
+    return entries
+
+
+def append_point(fh, entry: Dict[str, Any]) -> None:
+    """Append one point line and flush so a kill loses at most one line."""
+    fh.write(canonical_json(entry) + "\n")
+    fh.flush()

@@ -1,0 +1,178 @@
+"""The shared :class:`PipelineRunner`: one executor for every experiment.
+
+The runner turns a :class:`~repro.harness.pipeline.spec.ScenarioSpec`
+into an :class:`~repro.harness.records.ExperimentRecord`:
+
+1. expand the spec's grid into point payloads (in-process, cheap);
+2. drop points whose content key is already in the JSONL cache;
+3. fan the remaining measure stages out through the generic stage-task
+   layer (:func:`repro.harness.parallel.run_stage_tasks`) with ``jobs``
+   workers, streaming each finished point to the JSONL file the moment
+   it completes;
+4. reassemble results in grid order, append rows, run the aggregate
+   stage, attach notes.
+
+Determinism contract: with timing columns masked, the record is
+bit-identical across ``jobs=1`` and ``jobs=N`` (results are re-ordered
+by point index) and across fresh and resumed runs (every result —
+cached or fresh — is canonicalized through JSON before use).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ExperimentError
+from repro.harness.parallel import StageTask, run_stage_tasks
+from repro.harness.pipeline.cache import (
+    append_point,
+    load_points,
+    point_key,
+    points_path,
+    stage_fingerprint,
+)
+from repro.harness.pipeline.spec import PointResult, ScenarioSpec
+from repro.harness.records import ExperimentRecord
+
+__all__ = ["PipelineRunner"]
+
+
+def _canonicalize(result: Any) -> Dict[str, Any]:
+    """JSON round-trip a measure result so fresh == resumed, bit for bit."""
+    payload = PointResult.from_payload(result).as_payload()
+    return json.loads(json.dumps(payload, default=str))
+
+
+class PipelineRunner:
+    """Executes scenario specs over the parallel stage-task layer.
+
+    ``jobs``: worker processes for measure stages (1 = in-process,
+    0/None = :func:`~repro.harness.parallel.default_worker_count`).
+    ``cache_dir``: when set, points stream to
+    ``<cache_dir>/<EID>.points.jsonl`` as they finish and later runs
+    resume from it; ``fresh=True`` discards any existing stream first.
+    ``engine``: pins the traversal engine recorded in cache keys and
+    exported to measure workers (None = each worker's default).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        engine: Optional[str] = None,
+        fresh: bool = False,
+    ) -> None:
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.engine = engine
+        self.fresh = fresh
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: Union[str, ScenarioSpec],
+        *,
+        quick: bool = False,
+        seed: int = 0,
+    ) -> ExperimentRecord:
+        """Run one scenario and return its assembled record."""
+        if isinstance(spec, str):
+            from repro.harness.pipeline.specs import get_spec
+
+            spec = get_spec(spec)
+        start = time.perf_counter()
+
+        payloads = spec.grid(quick, seed)
+        fingerprint = stage_fingerprint(spec)
+        keys = [
+            point_key(
+                spec, payload, quick=quick, seed=seed, engine=self.engine,
+                fingerprint=fingerprint,
+            )
+            for payload in payloads
+        ]
+        results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+
+        stream_path: Optional[Path] = None
+        cached_entries: Dict[str, Dict[str, Any]] = {}
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            stream_path = points_path(self.cache_dir, spec.experiment_id)
+            if self.fresh:
+                stream_path.unlink(missing_ok=True)
+            else:
+                cached_entries = load_points(stream_path)
+        for index, key in enumerate(keys):
+            entry = cached_entries.get(key)
+            if entry is not None:
+                results[index] = _canonicalize(entry["result"])
+
+        pending = [i for i, r in enumerate(results) if r is None]
+        if pending:
+            tasks = [
+                StageTask(
+                    func=spec.measure, payload=payloads[i], engine=self.engine
+                )
+                for i in pending
+            ]
+            stream = (
+                io.open(stream_path, "a", encoding="utf-8")
+                if stream_path is not None
+                else None
+            )
+            try:
+                for task_index, raw, elapsed in run_stage_tasks(
+                    tasks, max_workers=self.jobs
+                ):
+                    index = pending[task_index]
+                    result = _canonicalize(raw)
+                    results[index] = result
+                    if stream is not None:
+                        append_point(
+                            stream,
+                            {
+                                "key": keys[index],
+                                "experiment": spec.experiment_id,
+                                "index": index,
+                                "payload": payloads[index],
+                                "elapsed": round(elapsed, 6),
+                                "result": result,
+                            },
+                        )
+            finally:
+                if stream is not None:
+                    stream.close()
+
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - run_stage_tasks yields every task
+            raise ExperimentError(
+                f"{spec.experiment_id}: points {missing} produced no result"
+            )
+
+        points = [PointResult.from_payload(r) for r in results]
+        record = ExperimentRecord(
+            experiment_id=spec.experiment_id,
+            title=spec.title,
+            columns=list(spec.columns),
+            params={
+                "quick": quick,
+                "seed": seed,
+                "points": len(points),
+                "executed": len(pending),
+                "cached": len(points) - len(pending),
+            },
+        )
+        for point in points:
+            for row in point.rows:
+                record.add_row(*row)
+        if spec.aggregate is not None:
+            spec.aggregate(record, points)
+        for note in spec.notes:
+            record.note(note)
+        record.elapsed_seconds = time.perf_counter() - start
+        return record

@@ -1,0 +1,23 @@
+"""Helpers shared by the scenario spec modules."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bound_b", "bound_r"]
+
+
+def bound_b(n: int, eps: float) -> float:
+    """Theorem 3.1 backup bound ``min{1/eps * n^(1+eps) * log n, n^(3/2)}``."""
+    if eps <= 0:
+        return 0.0
+    return min((1.0 / eps) * n ** (1 + eps) * math.log2(max(n, 2)), n**1.5)
+
+
+def bound_r(n: int, eps: float) -> float:
+    """Theorem 3.1 reinforcement bound ``1/eps * n^(1-eps) * log n``."""
+    if eps <= 0:
+        return float(n - 1)
+    if eps >= 0.5:
+        return 0.0
+    return (1.0 / eps) * n ** (1 - eps) * math.log2(max(n, 2))

@@ -12,8 +12,11 @@ from repro.simulate.simulator import (
     simulate_structure,
     simulate_trace,
 )
+from repro.simulate.stage import replay_summary, trace_replay
 
 __all__ = [
+    "replay_summary",
+    "trace_replay",
     "FailureEvent",
     "FailureTrace",
     "adversarial_trace",

@@ -1,0 +1,100 @@
+"""Trace replay as a picklable pipeline stage.
+
+The simulator used to be driven only by ad-hoc scripts; this module
+packages a full replay — build workload, construct, draw a seeded
+failure trace, measure the guarantee — as a module-level function of one
+JSON-able payload dict, which is exactly the shape the scenario
+pipeline's stage-task layer fans out over worker processes
+(:func:`repro.harness.parallel.run_stage_tasks`).
+
+``trace_replay`` is the standalone stage; :func:`replay_summary` is the
+shared core that experiment specs (E14) embed as a sub-measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.structure import FTBFSStructure
+from repro.simulate.events import adversarial_trace, uniform_trace
+from repro.simulate.simulator import simulate_structure
+
+__all__ = ["trace_replay", "replay_summary"]
+
+
+def replay_summary(
+    structure: FTBFSStructure,
+    *,
+    kind: str = "adversarial",
+    num_events: int = 50,
+    seed: int = 0,
+    engine: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Replay a seeded trace against a structure; JSON-able metrics.
+
+    ``kind="adversarial"`` concentrates failures on BFS-tree edges (the
+    only harmful ones); ``"uniform"`` draws over all fault-prone edges.
+    Deterministic given (structure, kind, num_events, seed).
+    """
+    reinforced = set(structure.reinforced)
+    if kind == "adversarial":
+        trace = adversarial_trace(
+            structure.graph,
+            sorted(structure.tree_edges),
+            num_events,
+            seed=seed,
+            exclude=reinforced,
+        )
+    elif kind == "uniform":
+        trace = uniform_trace(
+            structure.graph, num_events, seed=seed, exclude=reinforced
+        )
+    else:
+        raise ValueError(f"unknown trace kind {kind!r}")
+    report = simulate_structure(structure, trace, engine=engine)
+    return {
+        "events": report.num_events,
+        "violations": report.violations,
+        "availability": round(report.availability, 6),
+    }
+
+
+def trace_replay(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Pipeline stage: one replay point.
+
+    Payload: ``workload`` (name), ``params`` (workload kwargs),
+    ``epsilon``, ``seed``, ``kind``, ``num_events``.  Returns rows
+    ``[workload, n, eps, kind, events, violations, availability]``.
+    """
+    from repro.core import build_epsilon_ftbfs
+    from repro.core.construct import ConstructOptions
+    from repro.harness.workloads import workload as make_workload
+
+    name = payload["workload"]
+    params = dict(payload.get("params") or {})
+    epsilon = float(payload.get("epsilon", 0.3))
+    seed = int(payload.get("seed", 0))
+    graph, source = make_workload(name, **params)
+    structure = build_epsilon_ftbfs(
+        graph, source, epsilon, options=ConstructOptions(seed=seed)
+    )
+    summary = replay_summary(
+        structure,
+        kind=str(payload.get("kind", "adversarial")),
+        num_events=int(payload.get("num_events", 50)),
+        seed=seed,
+    )
+    return {
+        "rows": [
+            [
+                name,
+                graph.num_vertices,
+                epsilon,
+                payload.get("kind", "adversarial"),
+                summary["events"],
+                summary["violations"],
+                summary["availability"],
+            ]
+        ],
+        "facts": summary,
+    }

@@ -26,6 +26,14 @@ class TestList:
         out = capsys.readouterr().out
         assert "E1" in out and "gnp" in out
 
+    def test_lists_descriptions(self, capsys):
+        from repro.harness import SPECS
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for spec in SPECS.values():
+            assert spec.description in out
+
 
 class TestEngines:
     def test_lists_engines_with_default(self, capsys):
@@ -87,3 +95,24 @@ class TestRun:
         rc = main(["run", "E2", "--quick", "--save"])
         assert rc == 0
         assert (tmp_path / "bench_artifacts" / "E2.json").exists()
+        assert (tmp_path / "bench_artifacts" / "E2.points.jsonl").exists()
+
+    def test_run_jobs_parallel(self, capsys):
+        rc = main(["run", "E2", "--quick", "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[E2]" in out and "points" in out
+
+    def test_run_save_resumes(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "E2", "--quick", "--save"]) == 0
+        capsys.readouterr()
+        assert main(["run", "E2", "--quick", "--save"]) == 0
+        assert "2 cached" in capsys.readouterr().out
+
+    def test_run_fresh_ignores_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "E2", "--quick", "--save"]) == 0
+        capsys.readouterr()
+        assert main(["run", "E2", "--quick", "--save", "--fresh"]) == 0
+        assert "cached" not in capsys.readouterr().out

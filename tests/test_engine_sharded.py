@@ -1,0 +1,138 @@
+"""Parity and planning tests for the process-sharded traversal engine."""
+
+import pytest
+
+from repro.core import unprotected_edges, verify_structure, verify_subgraph
+from repro.core.construct import build_epsilon_ftbfs
+from repro.engine import (
+    ShardedEngine,
+    available_engines,
+    distances_equal,
+    engine_context,
+    get_engine,
+)
+from repro.graphs import connected_gnp_graph
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = connected_gnp_graph(90, 0.08, seed=7)
+    structure = build_epsilon_ftbfs(graph, 0, 0.3)
+    return graph, structure
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "sharded" in available_engines()
+        assert get_engine("sharded").name == "sharded"
+
+    def test_never_implicit_default(self):
+        assert get_engine().name != "sharded"
+
+    def test_base_resolution_escapes_sharded_default(self):
+        with engine_context("sharded"):
+            base = get_engine("sharded").base_engine()
+            assert base.name != "sharded"
+
+
+class TestDelegation:
+    def test_non_sweep_primitives_delegate(self, instance):
+        graph, _ = instance
+        sharded = get_engine("sharded")
+        base = sharded.base_engine()
+        assert distances_equal(
+            sharded.distances(graph, 0), base.distances(graph, 0)
+        )
+        assert sharded.parents(graph, 0) == base.parents(graph, 0)
+        assert sharded.distances_subset(graph, 0, [3, 5]) == base.distances_subset(
+            graph, 0, [3, 5]
+        )
+
+
+class TestSweepParity:
+    @pytest.mark.parametrize("base", ["python", "csr"])
+    def test_failure_sweep_bit_identical(self, instance, base):
+        """Force real multi-process sharding and compare every vector."""
+        graph, structure = instance
+        if base not in available_engines():
+            pytest.skip(f"{base} engine unavailable")
+        forced = ShardedEngine(base=base, max_workers=2, min_batch=1)
+        eids = list(range(graph.num_edges))
+        reference = list(get_engine(base).failure_sweep(graph, 0, eids))
+        sharded = list(forced.failure_sweep(graph, 0, eids))
+        assert len(reference) == len(sharded)
+        for ref, got in zip(reference, sharded):
+            assert distances_equal(ref, got)
+
+    def test_masked_sweep_parity(self, instance):
+        graph, structure = instance
+        forced = ShardedEngine(max_workers=2, min_batch=1)
+        eids = sorted(structure.edges)
+        base = forced.base_engine()
+        for ref, got in zip(
+            base.failure_sweep(graph, 0, eids, allowed_edges=structure.edges),
+            forced.failure_sweep(graph, 0, eids, allowed_edges=structure.edges),
+        ):
+            assert distances_equal(ref, got)
+
+    def test_small_sweeps_stay_in_process(self, instance):
+        # Below min_batch per worker there is nothing to amortize: the
+        # plan must resolve to 1 (pure base-engine delegation).
+        graph, _ = instance
+        assert ShardedEngine()._plan(3) == 1
+
+    def test_worker_guard_disables_nesting(self, instance, monkeypatch):
+        monkeypatch.setenv("REPRO_IN_WORKER", "1")
+        assert ShardedEngine(min_batch=1, max_workers=4)._plan(10_000) == 1
+
+
+class TestVerificationParity:
+    def test_verify_report_parity(self, instance):
+        graph, structure = instance
+        reports = {
+            name: verify_structure(structure, engine=name)
+            for name in available_engines()
+        }
+        reference = reports["python"]
+        for name, report in reports.items():
+            assert report.ok == reference.ok, name
+            assert report.checked_failures == reference.checked_failures, name
+            assert report.violations == reference.violations, name
+
+    def test_unprotected_edges_parity(self, instance):
+        graph, structure = instance
+        tree_only = set(structure.tree_edges)
+        reference = unprotected_edges(graph, 0, tree_only, engine="python")
+        for name in available_engines():
+            assert unprotected_edges(graph, 0, tree_only, engine=name) == reference
+
+    def test_violations_detected_identically(self, instance):
+        graph, structure = instance
+        # strip backup edges: the bare tree must fail verification the
+        # same way under every engine
+        tree_only = set(structure.tree_edges)
+        reference = verify_subgraph(graph, 0, tree_only, (), engine="python")
+        assert not reference.ok
+        for name in available_engines():
+            report = verify_subgraph(graph, 0, tree_only, (), engine=name)
+            assert report.ok == reference.ok
+            assert report.checked_failures == reference.checked_failures
+            assert report.violations == reference.violations
+
+    def test_large_graph_threshold_upgrade(self, instance, monkeypatch):
+        """Above REPRO_SHARD_THRESHOLD the oracle verifies under the
+        sharded engine — same verdict, by construction."""
+        graph, structure = instance
+        monkeypatch.setenv("REPRO_SHARD_THRESHOLD", "1")
+        from repro.core.verify import _resolve_engine
+
+        assert _resolve_engine(graph, None).name == "sharded"
+        assert _resolve_engine(graph, "python").name == "python"
+        assert verify_structure(structure).ok
+
+    def test_threshold_not_reached(self, instance, monkeypatch):
+        graph, _ = instance
+        monkeypatch.setenv("REPRO_SHARD_THRESHOLD", str(graph.num_edges + 1))
+        from repro.core.verify import _resolve_engine
+
+        assert _resolve_engine(graph, None).name != "sharded"

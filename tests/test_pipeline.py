@@ -1,0 +1,220 @@
+"""Tests for the scenario-pipeline subsystem.
+
+Covers the spec registry, the runner's parallel/serial bit-identity
+contract, JSONL streaming, and resume-from-cache after a simulated
+mid-run kill.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import run_experiment
+from repro.harness.parallel import resolve_stage
+from repro.harness.pipeline import (
+    SPECS,
+    PipelineRunner,
+    ScenarioSpec,
+    get_spec,
+    mask_timing,
+    spec_ids,
+)
+from repro.harness.pipeline.cache import load_points, points_path
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_sixteen_specs(self):
+        assert len(SPECS) == 16
+        assert spec_ids() == [f"E{i}" for i in range(1, 17)]
+
+    def test_specs_well_formed(self):
+        for eid, spec in SPECS.items():
+            assert spec.experiment_id == eid
+            assert spec.description
+            assert spec.columns
+            assert set(spec.timing_columns) <= set(spec.columns)
+            assert callable(resolve_stage(spec.measure))
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("e3") is SPECS["E3"]
+
+    def test_unknown_spec(self):
+        with pytest.raises(ExperimentError):
+            get_spec("E99")
+
+    def test_grids_are_jsonable_and_deterministic(self):
+        for spec in SPECS.values():
+            a = spec.grid(True, 0)
+            b = spec.grid(True, 0)
+            assert a == b and a, spec.experiment_id
+            json.dumps(a)  # payloads must survive the JSONL stream
+
+
+# ----------------------------------------------------------------------
+# parallel == serial
+# ----------------------------------------------------------------------
+class TestJobsBitIdentity:
+    @pytest.mark.parametrize("eid", ["E2", "E13"])
+    def test_jobs_2_matches_jobs_1(self, eid):
+        spec = get_spec(eid)
+        serial = run_experiment(eid, quick=True, jobs=1)
+        parallel = run_experiment(eid, quick=True, jobs=2)
+        assert mask_timing(spec, serial.rows) == mask_timing(spec, parallel.rows)
+        assert serial.columns == parallel.columns
+        assert serial.notes == parallel.notes
+        assert serial.derived == parallel.derived
+
+    @pytest.mark.slow
+    def test_aggregate_experiment_matches(self):
+        # E5's rows are synthesized by the aggregate stage from point facts.
+        serial = run_experiment("E5", quick=True, jobs=1)
+        parallel = run_experiment("E5", quick=True, jobs=2)
+        assert serial.rows == parallel.rows
+        assert len(serial.rows) == 3  # one per quick R/B ratio
+
+
+# ----------------------------------------------------------------------
+# streaming + resume
+# ----------------------------------------------------------------------
+def _probe_spec(tmp_path, num_points=5) -> ScenarioSpec:
+    """A cheap deterministic spec over the probe stage.
+
+    Every executed point appends a marker line to ``touched.log``, so
+    tests can count which points actually ran in which process.
+    """
+    touch = str(tmp_path / "touched.log")
+
+    def grid(quick, seed):
+        return [
+            {
+                "workload": "grid",
+                "params": {"side": 3 + i},
+                "label": f"p{i}",
+                "touch_path": touch,
+            }
+            for i in range(num_points)
+        ]
+
+    return ScenarioSpec(
+        experiment_id="EPROBE",
+        title="probe points",
+        description="pipeline self-test",
+        columns=("label", "n", "m", "ecc", "reachable"),
+        grid=grid,
+        measure="repro.harness.pipeline.stages:probe",
+    )
+
+
+def _touched(tmp_path):
+    path = tmp_path / "touched.log"
+    return path.read_text().splitlines() if path.exists() else []
+
+
+class TestStreamingAndResume:
+    def test_stream_written_per_point(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        runner = PipelineRunner(jobs=1, cache_dir=tmp_path)
+        record = runner.run(spec, quick=True)
+        assert record.params == {
+            "quick": True, "seed": 0, "points": 5, "executed": 5, "cached": 0,
+        }
+        entries = load_points(points_path(tmp_path, "EPROBE"))
+        assert len(entries) == 5
+        for entry in entries.values():
+            assert entry["result"]["rows"]
+            assert entry["elapsed"] >= 0
+
+    def test_full_rerun_hits_cache(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        runner = PipelineRunner(jobs=1, cache_dir=tmp_path)
+        first = runner.run(spec, quick=True)
+        second = runner.run(spec, quick=True)
+        assert second.params["cached"] == 5 and second.params["executed"] == 0
+        assert first.rows == second.rows
+        assert len(_touched(tmp_path)) == 5  # nothing re-executed
+
+    def test_resume_after_simulated_kill(self, tmp_path):
+        """Kill mid-run (truncated JSONL + a half-written line), rerun,
+        and the final record is identical with only the lost points
+        re-measured."""
+        spec = _probe_spec(tmp_path)
+        runner = PipelineRunner(jobs=1, cache_dir=tmp_path)
+        reference = runner.run(spec, quick=True)
+        stream = points_path(tmp_path, "EPROBE")
+        lines = stream.read_text().splitlines()
+        assert len(lines) == 5
+        # keep 2 finished points and simulate a kill mid-write of the 3rd
+        stream.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+        (tmp_path / "touched.log").unlink()
+
+        resumed = PipelineRunner(jobs=1, cache_dir=tmp_path).run(spec, quick=True)
+        assert resumed.params["cached"] == 2 and resumed.params["executed"] == 3
+        assert len(_touched(tmp_path)) == 3
+        assert resumed.rows == reference.rows
+        assert resumed.columns == reference.columns
+        assert resumed.notes == reference.notes
+        assert resumed.derived == reference.derived
+
+    @pytest.mark.slow
+    def test_resume_with_parallel_jobs(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        reference = PipelineRunner(jobs=1, cache_dir=tmp_path).run(spec, quick=True)
+        stream = points_path(tmp_path, "EPROBE")
+        stream.write_text("\n".join(stream.read_text().splitlines()[:1]) + "\n")
+        resumed = PipelineRunner(jobs=2, cache_dir=tmp_path).run(spec, quick=True)
+        assert resumed.params["executed"] == 4
+        assert resumed.rows == reference.rows
+
+    def test_fresh_discards_cache(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        PipelineRunner(jobs=1, cache_dir=tmp_path).run(spec, quick=True)
+        record = PipelineRunner(jobs=1, cache_dir=tmp_path, fresh=True).run(
+            spec, quick=True
+        )
+        assert record.params["executed"] == 5
+        assert len(_touched(tmp_path)) == 10
+
+    def test_seed_changes_invalidate_points(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        runner = PipelineRunner(jobs=1, cache_dir=tmp_path)
+        runner.run(spec, quick=True, seed=0)
+        record = runner.run(spec, quick=True, seed=1)
+        assert record.params["executed"] == 5  # different key -> re-measured
+
+    def test_no_cache_dir_means_no_stream(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        PipelineRunner(jobs=1).run(spec, quick=True)
+        assert not points_path(tmp_path, "EPROBE").exists()
+
+    def test_measure_code_fingerprint_busts_cache(self, tmp_path):
+        """Cache keys hash the measure stage's source: a code edit must
+        invalidate cached points instead of replaying stale rows."""
+        from repro.harness.pipeline.cache import point_key, stage_fingerprint
+
+        spec = _probe_spec(tmp_path)
+        payload = spec.grid(True, 0)[0]
+        assert stage_fingerprint(spec)  # probe source is readable
+        a = point_key(spec, payload, quick=True, seed=0, engine=None,
+                      fingerprint="deadbeef")
+        b = point_key(spec, payload, quick=True, seed=0, engine=None,
+                      fingerprint="cafebabe")
+        assert a != b
+
+
+# ----------------------------------------------------------------------
+# run_experiment facade
+# ----------------------------------------------------------------------
+class TestRunExperiment:
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("E99")
+
+    def test_cache_dir_roundtrip(self, tmp_path):
+        a = run_experiment("E2", quick=True, cache_dir=tmp_path)
+        b = run_experiment("E2", quick=True, cache_dir=tmp_path, jobs=2)
+        assert b.params["cached"] == b.params["points"]
+        assert a.rows == b.rows
