@@ -13,7 +13,7 @@ from repro.core import build_epsilon_ftbfs, run_pcons, verify_structure
 from repro.core.interference import InterferenceIndex
 from repro.decomposition import heavy_path_decomposition
 from repro.graphs import connected_gnp_graph
-from repro.spt.dijkstra import dijkstra
+from repro.engine import get_engine
 from repro.spt.replacement import ReplacementEngine
 from repro.spt.spt_tree import build_spt
 from repro.spt.weights import EXACT, make_weights
@@ -36,7 +36,7 @@ def instance():
 
 def test_micro_dijkstra(benchmark, instance):
     graph, weights = instance
-    result = benchmark(dijkstra, graph, weights, 0)
+    result = benchmark(get_engine("python").shortest_paths, graph, weights, 0)
     assert result.dist[1] is not None
 
 

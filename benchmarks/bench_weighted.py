@@ -1,0 +1,122 @@
+"""Weighted fast path benchmark: construction runtime per engine.
+
+Measures what the PR 3 refactor is for: the *construction* traversals
+(the tree Dijkstra of ``build_spt``, the subtree-restricted replacement
+recomputes, and the detour Dijkstras of ``Pcons``) under the random
+weight scheme, python reference vs csr array kernels, on a G(n, p) with
+>= 50k edges.  The acceptance floor is a 3x end-to-end ``run_pcons``
+speedup; outputs are asserted bit-identical between engines first, so
+the timing row doubles as a parity certificate.  Saves
+``BENCH_weighted.json``.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks the instance so CI stays
+short; the 3x floor applies only to the full-size run (tiny instances
+sit in the regime where per-call numpy overhead flattens the margin),
+quick mode asserts parity plus a sanity floor.
+"""
+
+import time
+
+from repro.core.pcons import run_pcons
+from repro.engine import engine_context, get_engine
+from repro.graphs import connected_gnp_graph
+from repro.harness import ExperimentRecord, save_record
+
+#: Acceptance floor for the full-size run (>= 50k edges, random scheme).
+SPEEDUP_FLOOR = 3.0
+
+
+def _instance(quick: bool):
+    n, deg = (1500, 12.0) if quick else (5000, 20.0)
+    return connected_gnp_graph(n, deg / (n - 1), seed=0)
+
+
+def test_weighted_construction_speedup(benchmark, quick_mode, bench_seed):
+    graph = _instance(quick_mode)
+    assert quick_mode or graph.num_edges >= 50_000
+
+    results = {}
+    timings = {}
+    for name in ("python", "csr"):
+        with engine_context(name):
+            if name == "csr":
+                t0 = time.perf_counter()
+                results[name] = benchmark.pedantic(
+                    run_pcons,
+                    args=(graph, 0),
+                    kwargs={"weight_scheme": "random", "seed": bench_seed},
+                    rounds=1,
+                    iterations=1,
+                )
+                timings[name] = time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                results[name] = run_pcons(
+                    graph, 0, weight_scheme="random", seed=bench_seed
+                )
+                timings[name] = time.perf_counter() - t0
+
+    # Bit-identical construction output is a precondition of the timing
+    # comparison: same tree, same replacement distances, same pairs.
+    ref, fast = results["python"], results["csr"]
+    assert ref.tree.dist == fast.tree.dist
+    assert ref.tree.parent == fast.tree.parent
+    assert ref.tree.parent_eid == fast.tree.parent_eid
+    assert ref.pairs.pairs == fast.pairs.pairs
+
+    speedup = timings["python"] / max(timings["csr"], 1e-9)
+    record = ExperimentRecord(
+        experiment_id="BENCH_weighted",
+        title="Weighted fast path: run_pcons python vs csr (random scheme)",
+        columns=[
+            "n", "m", "weight_scheme", "engine", "weighted_backend",
+            "t_pcons_s", "speedup_vs_python", "pairs", "uncovered",
+        ],
+        params={
+            "quick": quick_mode,
+            "seed": bench_seed,
+            "speedup_floor": SPEEDUP_FLOOR if not quick_mode else 1.0,
+        },
+    )
+    for name in ("python", "csr"):
+        record.add_row(
+            graph.num_vertices,
+            graph.num_edges,
+            results[name].weights.scheme,
+            name,
+            get_engine(name).weighted_backend,
+            round(timings[name], 3),
+            round(timings["python"] / max(timings[name], 1e-9), 2),
+            results[name].stats.num_pairs,
+            results[name].stats.num_uncovered,
+        )
+    record.note(
+        "construction path = build_spt + subtree replacement recomputes + "
+        "detour Dijkstras (run_pcons end to end)"
+    )
+    record.note(
+        f"acceptance floor: {SPEEDUP_FLOOR}x on the full-size instance "
+        "(>= 50k edges, random scheme)"
+    )
+    print()
+    print(record.render())
+    save_record(record)
+
+    floor = 1.0 if quick_mode else SPEEDUP_FLOOR
+    assert speedup >= floor, (
+        f"weighted construction speedup {speedup:.2f}x below the "
+        f"{floor}x floor (python {timings['python']:.2f}s vs "
+        f"csr {timings['csr']:.2f}s)"
+    )
+
+
+def test_micro_weighted_sssp(benchmark, quick_mode):
+    """One full random-scheme traversal on the csr kernels (multi-round)."""
+    from repro.spt.weights import make_weights
+
+    graph = _instance(True)
+    weights = make_weights(graph, "random", seed=0)
+    engine = get_engine("csr")
+    engine.shortest_paths(graph, weights, 0)  # warm CSR view + pert cache
+    result = benchmark(engine.shortest_paths, graph, weights, 0)
+    assert result.dist[0] == 0

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Set
 
 from repro._types import Vertex
-from repro.engine.registry import engine_context
+from repro.engine.registry import engine_context, get_engine
 from repro.errors import GraphError, ParameterError
 from repro.graphs.graph import Graph
 from repro.core.ftbfs13 import build_ftbfs13
@@ -164,7 +164,11 @@ def _build_fully_reinforced(
     """
     if pcons is not None:
         tree_edges = frozenset(pcons.tree.tree_edges())
-        stats = ConstructStats(num_pairs=pcons.stats.num_pairs)
+        stats = ConstructStats(
+            num_pairs=pcons.stats.num_pairs,
+            weight_scheme=pcons.weights.scheme,
+            engine=get_engine().name,
+        )
     else:
         from repro.spt.spt_tree import build_spt
         from repro.spt.weights import make_weights
@@ -172,7 +176,9 @@ def _build_fully_reinforced(
         weights = make_weights(graph, opts.weight_scheme, opts.seed)
         tree = build_spt(graph, weights, source)
         tree_edges = frozenset(tree.tree_edges())
-        stats = ConstructStats()
+        stats = ConstructStats(
+            weight_scheme=weights.scheme, engine=get_engine().name
+        )
     return FTBFSStructure(
         graph=graph,
         source=source,
@@ -260,6 +266,8 @@ def _build_main(
         s2_edges_added=len(s2.added_edges),
         s2_glue_pairs=s2.glue_pair_count,
         num_sim_sets=len(sim_sets),
+        weight_scheme=result.weights.scheme,
+        engine=get_engine().name,
         elapsed_seconds=timings,
     )
     structure = FTBFSStructure(

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from repro._types import Vertex
+from repro.engine.registry import get_engine
 from repro.graphs.graph import Graph
 from repro.core.pcons import PconsResult, run_pcons
 from repro.core.structure import ConstructStats, FTBFSStructure
@@ -49,6 +50,8 @@ def build_ftbfs13(
         num_covered=result.stats.num_covered,
         num_uncovered=result.stats.num_uncovered,
         num_disconnected=result.stats.num_disconnected,
+        weight_scheme=result.weights.scheme,
+        engine=get_engine().name,
     )
     return FTBFSStructure(
         graph=graph,

@@ -215,8 +215,8 @@ def _fill_detours(
     banned = path_set - {v}
 
     # Detour Dijkstra from v avoiding pi(s, v) internally (dispatched
-    # through the engine layer; both built-in engines share the exact
-    # big-int reference implementation).
+    # through the engine layer; under the random scheme the csr engine
+    # runs this on the weighted array kernels).
     sp = get_engine().shortest_paths(graph, weights, v, banned_vertices=banned)
 
     # delta(j): cheapest escape from u_j into the detour region, plus the

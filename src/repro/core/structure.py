@@ -37,6 +37,13 @@ class ConstructStats:
     s2_edges_added: int = 0
     s2_glue_pairs: int = 0
     num_sim_sets: int = 0
+    #: Weight scheme the construction actually ran under ("exact" or
+    #: "random") - records the ``make_weights(scheme="auto")`` decision,
+    #: which is otherwise invisible in saved results and could silently
+    #: differ between resumed runs.
+    weight_scheme: str = ""
+    #: Traversal engine the construction ran under.
+    engine: str = ""
     elapsed_seconds: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:

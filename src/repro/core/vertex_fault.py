@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._types import EdgeId, Vertex
+from repro.engine.registry import get_engine
 from repro.graphs.graph import Graph
 from repro.spt.bfs import bfs_distances
-from repro.spt.dijkstra import seeded_dijkstra
 from repro.spt.spt_tree import ShortestPathTree, build_spt
 from repro.spt.weights import WeightAssignment, make_weights
 
@@ -172,7 +172,9 @@ def _vertex_failure_distances(
             seeds.append((da + w_arr[eid], b, a, eid))
     if not seeds:
         return {v: None for v in sub}
-    sp = seeded_dijkstra(graph, weights, seeds, allowed_vertices=allowed)
+    sp = get_engine().seeded_shortest_paths(
+        graph, weights, seeds, allowed_vertices=allowed
+    )
     return {v: sp.dist[v] for v in sub}
 
 

@@ -17,8 +17,13 @@ Engine contract (details in :mod:`repro.engine.base`)
   Backends amortize: the csr engine computes one base BFS tree and
   recomputes only the subtree hanging under each failed tree edge.
 * ``shortest_paths`` / ``seeded_shortest_paths``: the weighted
-  tie-broken Dijkstra; shared reference implementation (big-int weights
-  do not fit fixed-width arrays).
+  tie-broken Dijkstra.  The csr engine runs the random weight scheme on
+  the array kernels of :mod:`repro.engine.weighted_kernels` (the
+  composite weight splits into an ``int64`` ``(hops, pert_sum)`` pair);
+  the exact scheme's big-int perturbations transparently fall back to
+  the shared reference implementation.  Each engine reports its
+  weighted capability via ``weighted_backend`` (shown by
+  ``repro engines``).
 
 Built-in engines
 ----------------

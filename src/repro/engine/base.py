@@ -32,15 +32,23 @@ Contract
   must treat yielded vectors as read-only); only the values are part of
   the contract.
 * ``shortest_paths`` / ``seeded_shortest_paths`` run the weighted
-  tie-broken Dijkstra.  The composite weights are arbitrary-precision
-  Python integers (the exact scheme uses ``2**eid`` perturbations), so
-  array backends cannot represent them; both built-in engines share the
-  reference implementation in :mod:`repro.spt.dijkstra`.  A backend may
-  override only if it preserves the exact big-int semantics, including
-  :class:`~repro.errors.TieBreakError` detection.
+  tie-broken Dijkstra and must be *bit-identical* to the reference in
+  :mod:`repro.spt.dijkstra`: same big-int distances, same
+  parent/parent-edge trees, and the same
+  :class:`~repro.errors.TieBreakError` behavior (ties are detected at
+  relaxation time, an order-dependent event).  A composite weight is
+  the lexicographic pair ``(hops, pert_sum)``; the full composite
+  ``hops << shift`` overflows ``int64``, but the two components fit
+  fixed width *separately* for the random scheme, which is how the csr
+  engine's array kernels (:mod:`repro.engine.weighted_kernels`)
+  implement the contract.  Backends advertise how they run weighted
+  traversals via :attr:`TraversalEngine.weighted_backend`; assignments
+  a backend cannot represent (the exact scheme's ``2**eid``
+  perturbations) must transparently fall back to the reference.
 
 Parity between registered engines is enforced by
-``tests/test_engine_parity.py``; the python engine remains the spec.
+``tests/test_engine_parity.py`` and ``tests/test_weighted_parity.py``;
+the python engine remains the spec.
 """
 
 from __future__ import annotations
@@ -85,6 +93,10 @@ class TraversalEngine:
 
     #: Registry key; subclasses override.
     name: str = "abstract"
+
+    #: Human-readable description of how this engine runs the weighted
+    #: traversals (``repro engines`` and E16 report it).
+    weighted_backend: str = "reference big-int Dijkstra"
 
     # -- unweighted (hop) traversals -----------------------------------
     def distances(

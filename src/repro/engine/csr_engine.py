@@ -3,10 +3,16 @@
 Hop traversals run on the cached CSR view through the kernels in
 :mod:`repro.engine.kernels`; results are converted back to the plain
 Python containers the contract promises (except ``failure_sweep``, which
-yields numpy vectors - values-only contract).  Weighted traversals use
-the shared reference Dijkstra: the composite tie-breaking weights are
-arbitrary-precision Python ints that no fixed-width array dtype can
-hold (see :mod:`repro.engine.base`).
+yields numpy vectors - values-only contract).
+
+Weighted traversals take the fast path of
+:mod:`repro.engine.weighted_kernels` whenever
+:func:`~repro.engine.weighted_kernels.weighted_plan` proves the
+assignment array-representable (the random scheme on any graph this
+library can build); the exact scheme's ``2**eid`` perturbations are
+arbitrary-precision and transparently fall back to the shared big-int
+reference Dijkstra.  Either way the results - distances, parents,
+parent edges, tie errors - are bit-identical to the reference.
 """
 
 from __future__ import annotations
@@ -20,6 +26,13 @@ from repro.engine.base import UNREACHABLE
 from repro.engine.csr import csr_view
 from repro.engine.kernels import FailureSweep, bfs_levels, bfs_levels_ordered
 from repro.engine.python_engine import PythonEngine, _check_source
+from repro.engine.weighted_kernels import (
+    assemble_result,
+    decompose_seeds,
+    weighted_levels,
+    weighted_plan,
+)
+from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
 __all__ = ["CSREngine"]
@@ -54,6 +67,11 @@ def _edge_ok_mask(
     return ok
 
 
+#: Below this many allowed vertices, seeded weighted traversals stay on
+#: the reference heap (array per-level overhead dominates tiny runs).
+_SMALL_WEIGHTED = 48
+
+
 def _vertex_ok_mask(
     n: int, banned_vertices: Optional[Set[Vertex]]
 ) -> Optional[np.ndarray]:
@@ -65,9 +83,10 @@ def _vertex_ok_mask(
 
 
 class CSREngine(PythonEngine):
-    """Array-kernel engine; inherits the weighted reference traversals."""
+    """Array-kernel engine for hop *and* (random-scheme) weighted traversals."""
 
     name = "csr"
+    weighted_backend = "array (random scheme) + reference fallback"
 
     def distances(
         self,
@@ -144,3 +163,95 @@ class CSREngine(PythonEngine):
         csr = csr_view(graph)
         edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
         return FailureSweep(csr, source, edge_ok=edge_ok)
+
+    # -- weighted traversals (array fast path + reference fallback) ----
+    def shortest_paths(
+        self,
+        graph: Graph,
+        weights,
+        source: Vertex,
+        *,
+        banned_vertices: Optional[Set[Vertex]] = None,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+        raise_on_tie: bool = True,
+    ):
+        perts = weighted_plan(graph, weights)
+        if perts is None:
+            return super().shortest_paths(
+                graph,
+                weights,
+                source,
+                banned_vertices=banned_vertices,
+                banned_edge=banned_edge,
+                banned_edges=banned_edges,
+                allowed_edges=allowed_edges,
+                raise_on_tie=raise_on_tie,
+            )
+        _check_source(graph, source)
+        if banned_vertices and source in banned_vertices:
+            raise GraphError(f"source {source} is banned")
+        csr = csr_view(graph)
+        settled, hop, pert, parent, parent_eid = weighted_levels(
+            csr,
+            perts,
+            [(0, 0, source, -1, -1)],
+            edge_ok=_edge_ok_mask(
+                csr.num_edges,
+                banned_edge=banned_edge,
+                banned_edges=banned_edges,
+                allowed_edges=allowed_edges,
+            ),
+            vertex_ok=_vertex_ok_mask(csr.num_vertices, banned_vertices),
+            raise_on_tie=raise_on_tie,
+            scheme=weights.scheme,
+        )
+        return assemble_result(
+            source, weights.shift, settled, hop, pert, parent, parent_eid
+        )
+
+    def seeded_shortest_paths(
+        self,
+        graph: Graph,
+        weights,
+        seeds,
+        *,
+        allowed_vertices: Set[Vertex],
+        banned_edge: Optional[EdgeId] = None,
+        raise_on_tie: bool = True,
+    ):
+        seed_list = list(seeds)
+        decomposed = decompose_seeds(seed_list, weights.shift)
+        max_seed_pert = max((p0 for _, p0, _, _, _ in decomposed), default=0)
+        # Tiny restricted recomputes (leaf-ish subtrees in the
+        # replacement engine) are faster on the reference heap than on
+        # per-level array passes; results are bit-identical either way.
+        if len(allowed_vertices) <= _SMALL_WEIGHTED:
+            perts = None
+        else:
+            perts = weighted_plan(graph, weights, max_seed_pert=max_seed_pert)
+        if perts is None:
+            return super().seeded_shortest_paths(
+                graph,
+                weights,
+                seed_list,
+                allowed_vertices=allowed_vertices,
+                banned_edge=banned_edge,
+                raise_on_tie=raise_on_tie,
+            )
+        csr = csr_view(graph)
+        allowed_ok = np.zeros(csr.num_vertices, dtype=bool)
+        allowed_ok[_valid_ids(allowed_vertices, csr.num_vertices)] = True
+        settled, hop, pert, parent, parent_eid = weighted_levels(
+            csr,
+            perts,
+            decomposed,
+            edge_ok=_edge_ok_mask(csr.num_edges, banned_edge=banned_edge),
+            allowed_ok=allowed_ok,
+            raise_on_tie=raise_on_tie,
+            scheme=weights.scheme,
+        )
+        return assemble_result(
+            -1, weights.shift, settled, hop, pert, parent, parent_eid
+        )

@@ -98,6 +98,10 @@ class ShardedEngine(TraversalEngine):
     def seeded_shortest_paths(self, graph, weights, seeds, **kwargs):
         return self.base_engine().seeded_shortest_paths(graph, weights, seeds, **kwargs)
 
+    @property
+    def weighted_backend(self) -> str:
+        return f"delegates to {self.base_engine().name!r}"
+
     def halved(self) -> "ShardedEngine":
         """A copy capped at half this engine's worker budget.
 

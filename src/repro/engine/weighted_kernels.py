@@ -1,0 +1,344 @@
+"""Array kernels for the weighted tie-broken traversal (random scheme).
+
+The composite weights of :mod:`repro.spt.weights` encode the
+lexicographic pair ``(hops, pert_sum)`` in one big integer
+``(hops << shift) + pert_sum``.  The pair itself is array-representable:
+``hops`` is a small integer, and under the random scheme any simple
+path's perturbation sum stays below ``2**19 * 2**44 < 2**63`` - so the
+kernel keeps the two components in *separate* ``int64`` arrays and never
+materializes the overflowing composite until the final result assembly.
+
+Because every edge raises the hop component by exactly one, the heap of
+the reference Dijkstra settles vertices level by level: all labels of
+hop level ``h`` are final before the first level-``h`` vertex settles.
+The kernel therefore runs a **level-synchronous two-array relaxation**:
+settle a whole hop level at once (ordered by ``(pert, vertex)``, the
+reference heap's pop order), stream its out-edges in that order, and
+reduce the candidate perturbations per target.
+
+Tie detection must be *bit-identical in behavior* to the reference,
+which raises :class:`~repro.errors.TieBreakError` the moment a
+relaxation candidate equals the target's current running minimum - an
+order-dependent event (candidates ``10, 10, 5`` tie on the second
+``10`` even though the final minimum ``5`` is unique).  The kernel
+reproduces this exactly: targets whose candidate multiset contains any
+duplicate perturbation (the only way an equality event can occur) are
+replayed through the reference's relaxation loop in arrival order; all
+other targets take the fully vectorized argmin path.
+
+Entry conditions are checked by :func:`weighted_plan`: the kernel runs
+only when the per-edge perturbations export to ``int64``
+(:meth:`~repro.spt.weights.WeightAssignment.pert_array`) and no path or
+seed can overflow either the perturbation field (``2**shift``, which
+would carry into the hop bits of the reference's big-int sum) or
+``int64``.  Everything else - the exact scheme in particular - falls
+back to the big-int reference Dijkstra.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.csr import CSRAdjacency
+from repro.engine.kernels import expand_frontier
+from repro.errors import GraphError, TieBreakError
+from repro.spt.result import ShortestPathResult
+from repro.spt.weights import RANDOM, WeightAssignment
+
+__all__ = ["weighted_plan", "weighted_levels", "assemble_result", "decompose_seeds"]
+
+#: Seed tuple consumed by :func:`weighted_levels`:
+#: ``(hop, pert, vertex, parent, parent_eid)``.
+Seed = Tuple[int, int, int, int, int]
+
+_INT64_LIMIT = 2**63
+
+
+def weighted_plan(
+    graph, weights: WeightAssignment, *, max_seed_pert: int = 0
+) -> Optional[np.ndarray]:
+    """The per-edge ``int64`` perturbation array, or ``None`` to fall back.
+
+    ``None`` means the array kernel cannot *provably* reproduce the
+    reference: non-random scheme, perturbations that do not fit
+    ``int64``, or a graph large enough that a path's perturbation sum
+    (plus the largest seed perturbation) could overflow the
+    perturbation field ``2**shift`` or ``int64``.
+    """
+    if weights.scheme != RANDOM:
+        return None
+    export = weights.pert_array()
+    if export is None:
+        return None
+    perts, max_pert = export
+    n = graph.num_vertices
+    bound = max_seed_pert + max(0, n - 1) * max_pert
+    if bound >= min(weights.big, _INT64_LIMIT):
+        return None
+    return perts
+
+
+def decompose_seeds(
+    seeds: Iterable[Tuple[int, int, int, int]], shift: int
+) -> List[Seed]:
+    """Split reference seeds ``(dist, v, parent, parent_eid)`` into
+    ``(hop, pert, v, parent, parent_eid)`` pairs."""
+    mask = (1 << shift) - 1
+    return [(d0 >> shift, d0 & mask, v0, p0, pe0) for d0, v0, p0, pe0 in seeds]
+
+
+def weighted_levels(
+    csr: CSRAdjacency,
+    pert_edge: np.ndarray,
+    seeds: List[Seed],
+    *,
+    edge_ok: Optional[np.ndarray] = None,
+    vertex_ok: Optional[np.ndarray] = None,
+    allowed_ok: Optional[np.ndarray] = None,
+    raise_on_tie: bool = True,
+    scheme: str = RANDOM,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Level-synchronous weighted traversal over the CSR view.
+
+    Returns ``(settled, hop, pert, parent, parent_eid)``; ``settled``
+    marks reached vertices, whose composite distance is the pair
+    ``(hop, pert)``.  ``allowed_ok`` (when given) restricts settling to
+    a vertex subset and makes the seed loop validate membership, exactly
+    like the reference's ``allowed_vertices``.
+    """
+    n = csr.num_vertices
+    hop_t = np.full(n, -1, dtype=np.int64)
+    pert_t = np.zeros(n, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_eid = np.full(n, -1, dtype=np.int64)
+    settled = np.zeros(n, dtype=bool)
+
+    # Pending labels bucketed by hop level; stale entries (labels later
+    # improved to a lower level, or already settled) are filtered out
+    # when their bucket is drained, so duplicates are harmless.
+    buckets: dict = {}
+
+    # Seed loop: sequential, replicating the reference's running-min and
+    # tie semantics entry by entry.
+    for h0, p0, v0, par0, pe0 in seeds:
+        if allowed_ok is not None and not (0 <= v0 < n and allowed_ok[v0]):
+            raise GraphError(f"seed vertex {v0} outside the allowed set")
+        cur_h = int(hop_t[v0])
+        if cur_h == -1 or (h0, p0) < (cur_h, int(pert_t[v0])):
+            hop_t[v0] = h0
+            pert_t[v0] = p0
+            parent[v0] = par0
+            parent_eid[v0] = pe0
+            buckets.setdefault(h0, []).append(np.asarray([v0], dtype=np.int64))
+        elif (h0, p0) == (cur_h, int(pert_t[v0])) and pe0 != parent_eid[v0]:
+            if raise_on_tie:
+                raise TieBreakError(
+                    f"equal-weight seeds for vertex {v0} (scheme={scheme})"
+                )
+    seed_vertices = np.asarray(sorted({s[2] for s in seeds}), dtype=np.int64)
+
+    while buckets:
+        h = min(buckets)
+        cand_vertices = np.concatenate(buckets.pop(h))
+        frontier = np.unique(cand_vertices)
+        frontier = frontier[~settled[frontier] & (hop_t[frontier] == h)]
+        if frontier.size == 0:
+            continue
+        # Settle order = the reference heap's pop order: (pert, vertex).
+        # unique() yields ascending ids; a stable sort by pert keeps id
+        # order inside equal perturbations.
+        frontier = frontier[np.argsort(pert_t[frontier], kind="stable")]
+        settled[frontier] = True
+
+        srcs, nbrs, eids = expand_frontier(csr, frontier)
+        keep = ~settled[nbrs]
+        if edge_ok is not None:
+            keep &= edge_ok[eids]
+        if vertex_ok is not None:
+            keep &= vertex_ok[nbrs]
+        if allowed_ok is not None:
+            keep &= allowed_ok[nbrs]
+        srcs, nbrs, eids = srcs[keep], nbrs[keep], eids[keep]
+        if nbrs.size == 0:
+            continue
+        cand = pert_t[srcs] + pert_edge[eids]
+
+        # Targets already holding a tentative hop-(h+1) label: the
+        # reference compares every relaxation against it, so it joins
+        # each target's stream as the leading pseudo-candidate.  Such
+        # labels can only stem from seeds (this level's own updates are
+        # not yet applied), so the machinery is skipped entirely once
+        # every seed vertex has settled - in particular always for
+        # single-source runs.
+        if seed_vertices.size and not settled[seed_vertices].all():
+            init_targets = np.unique(nbrs[hop_t[nbrs] == h + 1])
+        else:
+            init_targets = np.empty(0, dtype=np.int64)
+        if init_targets.size:
+            t_all = np.concatenate([init_targets, nbrs])
+            c_all = np.concatenate([pert_t[init_targets], cand])
+            s_all = np.concatenate([parent[init_targets], srcs])
+            e_all = np.concatenate([parent_eid[init_targets], eids])
+        else:
+            t_all, c_all, s_all, e_all = nbrs, cand, srcs, eids
+
+        # Group by target, preserving arrival order within each group
+        # (inits were prepended, so they stay first).
+        order = np.argsort(t_all, kind="stable")
+        t_s, c_s, s_s, e_s = t_all[order], c_all[order], s_all[order], e_all[order]
+        change = np.empty(t_s.size, dtype=bool)
+        change[0] = True
+        np.not_equal(t_s[1:], t_s[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        counts = np.diff(starts, append=t_s.size)
+        grp_target = t_s[starts]
+
+        gmin = np.minimum.reduceat(c_s, starts)
+        is_min = c_s == np.repeat(gmin, counts)
+        pos = np.where(is_min, np.arange(t_s.size), t_s.size)
+        win = np.minimum.reduceat(pos, starts)
+
+        # Any duplicated perturbation inside a group is the only way an
+        # equality event can occur; those rare groups are replayed
+        # through the reference loop below, everything else is decided
+        # by the vectorized argmin.
+        if np.count_nonzero(is_min) > starts.size:
+            dup_candidates = True  # a group's minimum is attained twice
+        else:
+            # equal values above a group's running minimum also tie in
+            # the reference; detect any duplicated (target, value) pair
+            ord2 = np.lexsort((c_s, t_s))
+            cc = c_s[ord2]
+            tt = t_s[ord2]
+            dup_candidates = bool(
+                ((tt[1:] == tt[:-1]) & (cc[1:] == cc[:-1])).any()
+            )
+
+        if dup_candidates:
+            ord2 = np.lexsort((c_s, t_s))
+            tt, cc = t_s[ord2], c_s[ord2]
+            dup_adj = (tt[1:] == tt[:-1]) & (cc[1:] == cc[:-1])
+            dup_flag = np.zeros(n, dtype=bool)
+            dup_flag[tt[1:][dup_adj]] = True
+            grp_dup = dup_flag[grp_target]
+            has_init = (
+                hop_t[grp_target] == h + 1
+                if init_targets.size
+                else np.zeros(starts.size, dtype=bool)
+            )
+            winner_is_init = (win == starts) & has_init
+            upd = ~grp_dup & ~winner_is_init
+            tg, wi = grp_target[upd], win[upd]
+            hop_t[tg] = h + 1
+            pert_t[tg] = c_s[wi]
+            parent[tg] = s_s[wi]
+            parent_eid[tg] = e_s[wi]
+            _replay_duplicates(
+                np.flatnonzero(grp_dup), starts, counts, has_init,
+                t_s, c_s, s_s, e_s, h, hop_t, pert_t, parent, parent_eid,
+                raise_on_tie, scheme,
+            )
+            pushed = grp_target
+        elif init_targets.size:
+            has_init = hop_t[grp_target] == h + 1
+            winner_is_init = (win == starts) & has_init
+            upd = ~winner_is_init
+            tg, wi = grp_target[upd], win[upd]
+            hop_t[tg] = h + 1
+            pert_t[tg] = c_s[wi]
+            parent[tg] = s_s[wi]
+            parent_eid[tg] = e_s[wi]
+            pushed = tg
+        else:
+            hop_t[grp_target] = h + 1
+            pert_t[grp_target] = c_s[win]
+            parent[grp_target] = s_s[win]
+            parent_eid[grp_target] = e_s[win]
+            pushed = grp_target
+        if pushed.size:
+            buckets.setdefault(h + 1, []).append(pushed)
+
+    return settled, hop_t, pert_t, parent, parent_eid
+
+
+def _replay_duplicates(
+    groups: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    has_init: np.ndarray,
+    t_s: np.ndarray,
+    c_s: np.ndarray,
+    s_s: np.ndarray,
+    e_s: np.ndarray,
+    h: int,
+    hop_t: np.ndarray,
+    pert_t: np.ndarray,
+    parent: np.ndarray,
+    parent_eid: np.ndarray,
+    raise_on_tie: bool,
+    scheme: str,
+) -> None:
+    """Reference relaxation loop for targets with duplicated candidates.
+
+    Replays candidates in arrival order: strict improvement moves the
+    running minimum, equality against it with a different edge is the
+    reference's tie (raised in level order, matching the settle order
+    the reference would have raised in).
+    """
+    for g in groups.tolist():
+        lo = int(starts[g])
+        hi = lo + int(counts[g])
+        target = int(t_s[lo])
+        run_c = run_s = run_e = None
+        win_j = -1
+        for j in range(lo, hi):
+            c = int(c_s[j])
+            if run_c is None or c < run_c:
+                run_c, run_s, run_e = c, int(s_s[j]), int(e_s[j])
+                win_j = j
+            elif c == run_c and int(e_s[j]) != run_e:
+                if raise_on_tie:
+                    raise TieBreakError(
+                        f"equal-weight paths to vertex {target} (scheme={scheme})"
+                    )
+        if has_init[g] and win_j == lo:
+            continue  # the pre-existing label survives unchanged
+        hop_t[target] = h + 1
+        pert_t[target] = run_c
+        parent[target] = run_s
+        parent_eid[target] = run_e
+
+
+def assemble_result(
+    source: int,
+    shift: int,
+    settled: np.ndarray,
+    hop: np.ndarray,
+    pert: np.ndarray,
+    parent: np.ndarray,
+    parent_eid: np.ndarray,
+) -> ShortestPathResult:
+    """Recompose ``(hop, pert)`` pairs into the reference's big-int form.
+
+    The composite ``hop << shift`` overflows ``int64`` (shift is 63 for
+    the random scheme), so the final distances are built as Python ints;
+    they are bit-identical to the reference's weight sums because the
+    plan guaranteed perturbation sums never carry into the hop bits.
+    """
+    if settled.all():
+        dist: List[Optional[int]] = [
+            (h << shift) + p for h, p in zip(hop.tolist(), pert.tolist())
+        ]
+    else:
+        dist = [
+            (h << shift) + p if ok else None
+            for ok, h, p in zip(settled.tolist(), hop.tolist(), pert.tolist())
+        ]
+    return ShortestPathResult(
+        source=source,
+        dist=dist,
+        parent=parent.tolist(),
+        parent_eid=parent_eid.tolist(),
+    )

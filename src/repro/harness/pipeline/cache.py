@@ -3,7 +3,7 @@
 Every finished point is appended to ``<artifacts>/<EID>.points.jsonl``
 as one self-describing line::
 
-    {"key": "...", "experiment": "E1", "index": 3,
+    {"key": "...", "experiment": "E1", "index": 3, "fingerprint": "...",
      "payload": {...}, "elapsed": 0.41, "result": {"rows": [...], "facts": {...}}}
 
 The ``key`` is a content hash over everything that determines the
@@ -17,6 +17,15 @@ it, so re-measure with ``--fresh`` after such changes.  A resumed run
 loads the file, keeps the newest line per key, skips those points, and
 appends only what it actually re-measures; a line truncated by a
 mid-write kill is simply ignored.
+
+The stream is append-only while a run is live, so superseded
+generations would otherwise accumulate as dead lines forever.
+:func:`compact_points` garbage-collects on load: it atomically rewrites
+the file keeping only the newest line per key among lines carrying the
+*current* stage fingerprint (a line whose fingerprint differs can never
+be a cache hit again — its hash feeds the key).  Lines for other seeds,
+engines, or quick settings share the fingerprint and survive
+compaction; they are still reachable generations, not garbage.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import hashlib
 import inspect
 import io
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -34,9 +44,29 @@ __all__ = [
     "point_key",
     "stage_fingerprint",
     "load_points",
+    "compact_points",
+    "open_append_stream",
     "append_point",
     "points_path",
 ]
+
+try:  # advisory locking guards compaction against live appenders (POSIX)
+    import fcntl
+
+    def _lock(fh, exclusive: bool, blocking: bool) -> bool:
+        flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        if not blocking:
+            flags |= fcntl.LOCK_NB
+        try:
+            fcntl.flock(fh.fileno(), flags)
+            return True
+        except OSError:
+            return False
+
+except ImportError:  # pragma: no cover - non-POSIX: compaction is unguarded
+
+    def _lock(fh, exclusive: bool, blocking: bool) -> bool:
+        return True
 
 
 def canonical_json(data: Any) -> str:
@@ -106,14 +136,22 @@ def load_points(path: Path) -> Dict[str, Dict[str, Any]]:
     end) and lines missing the expected fields are skipped silently:
     the runner just re-measures those points.
     """
+    entries, _ = _scan_points(path)
+    return entries
+
+
+def _scan_points(path: Path):
+    """``(entries, total_lines)``: parsed newest-per-key map + raw line count."""
     entries: Dict[str, Dict[str, Any]] = {}
+    total = 0
     if not path.exists():
-        return entries
+        return entries, total
     with io.open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
+            total += 1
             try:
                 data = json.loads(line)
             except json.JSONDecodeError:
@@ -121,7 +159,71 @@ def load_points(path: Path) -> Dict[str, Dict[str, Any]]:
             key = data.get("key")
             if isinstance(key, str) and isinstance(data.get("result"), dict):
                 entries[key] = data
-    return entries
+    return entries, total
+
+
+def compact_points(path: Path, *, fingerprint: str) -> Dict[str, Dict[str, Any]]:
+    """Load a points stream, garbage-collecting dead generations.
+
+    Keeps the newest line per key among lines whose recorded
+    ``fingerprint`` matches the current stage fingerprint; everything
+    else — superseded duplicates, lines from edited spec code (their
+    keys can never match again), corrupt/truncated lines, pre-PR3 lines
+    with no fingerprint field — is dropped.  When anything is dropped,
+    the file is rewritten *atomically* (temp file + ``os.replace``), so
+    a kill mid-compaction loses nothing.  Returns the live entries,
+    exactly like :func:`load_points`.
+
+    Concurrency: every appender (:func:`open_append_stream`) holds a
+    shared advisory lock on the stream for the length of its run, and
+    compaction requires the exclusive lock — if another process is
+    mid-run, compaction is skipped (plain load) rather than replacing
+    the inode out from under its open append handle and orphaning its
+    finished points.
+    """
+    if not path.exists():
+        return {}
+    with io.open(path, "r", encoding="utf-8") as lock_fh:
+        if not _lock(lock_fh, exclusive=True, blocking=False):
+            return load_points(path)  # a live appender owns the stream
+        entries, total = _scan_points(path)
+        live = {
+            key: data
+            for key, data in entries.items()
+            if data.get("fingerprint") == fingerprint
+        }
+        if total == len(live):  # nothing dead: leave the stream untouched
+            return live
+        tmp = path.with_name(path.name + ".compact.tmp")
+        with io.open(tmp, "w", encoding="utf-8") as fh:
+            for data in live.values():
+                fh.write(canonical_json(data) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    return live
+
+
+def open_append_stream(path: Path):
+    """Open the points stream for appending, under the shared lock.
+
+    Taking the shared lock (held until the handle is closed) excludes
+    concurrent compaction; re-checking the inode after acquiring it
+    closes the window where a compactor replaced the file while we were
+    waiting — appending to the orphaned inode would silently lose every
+    point of this run.
+    """
+    while True:
+        fh = io.open(path, "a", encoding="utf-8")
+        if not _lock(fh, exclusive=False, blocking=True):
+            return fh  # locking unsupported: best-effort append
+        try:
+            same = os.fstat(fh.fileno()).st_ino == os.stat(path).st_ino
+        except OSError:
+            same = False
+        if same:
+            return fh
+        fh.close()  # the file was replaced while we waited: reopen
 
 
 def append_point(fh, entry: Dict[str, Any]) -> None:

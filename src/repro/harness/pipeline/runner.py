@@ -20,7 +20,6 @@ cached or fresh — is canonicalized through JSON before use).
 
 from __future__ import annotations
 
-import io
 import json
 import time
 from pathlib import Path
@@ -30,7 +29,8 @@ from repro.errors import ExperimentError
 from repro.harness.parallel import StageTask, run_stage_tasks
 from repro.harness.pipeline.cache import (
     append_point,
-    load_points,
+    compact_points,
+    open_append_stream,
     point_key,
     points_path,
     stage_fingerprint,
@@ -106,7 +106,13 @@ class PipelineRunner:
             if self.fresh:
                 stream_path.unlink(missing_ok=True)
             else:
-                cached_entries = load_points(stream_path)
+                # Reload + garbage-collect in one pass: dead generations
+                # (superseded keys, stale-fingerprint lines) are
+                # atomically rewritten away instead of accumulating
+                # until --fresh truncates the stream.
+                cached_entries = compact_points(
+                    stream_path, fingerprint=fingerprint
+                )
         for index, key in enumerate(keys):
             entry = cached_entries.get(key)
             if entry is not None:
@@ -121,7 +127,7 @@ class PipelineRunner:
                 for i in pending
             ]
             stream = (
-                io.open(stream_path, "a", encoding="utf-8")
+                open_append_stream(stream_path)
                 if stream_path is not None
                 else None
             )
@@ -139,6 +145,7 @@ class PipelineRunner:
                                 "key": keys[index],
                                 "experiment": spec.experiment_id,
                                 "index": index,
+                                "fingerprint": fingerprint,
                                 "payload": payloads[index],
                                 "elapsed": round(elapsed, 6),
                                 "result": result,

@@ -31,7 +31,13 @@ def e13_grid(quick: bool, seed: int) -> List[Dict[str, Any]]:
 
 
 def e13_measure(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Wall-clock of pcons / construct / verify at one size."""
+    """Wall-clock of pcons / construct / verify at one size.
+
+    The row records the traversal engine and the weight scheme the
+    construction actually ran under (the ``auto`` scheme threshold
+    decision), so resumed or re-pinned runs can never silently mix
+    configurations without it showing in the table.
+    """
     graph, source = workload(payload["workload"], **payload["params"])
     t0 = time.perf_counter()
     pcons = run_pcons(graph, source, seed=payload["seed"])
@@ -44,6 +50,7 @@ def e13_measure(payload: Dict[str, Any]) -> Dict[str, Any]:
         "rows": [
             [
                 graph.num_vertices, graph.num_edges,
+                structure.stats.engine, structure.stats.weight_scheme,
                 round(t1 - t0, 3), round(t2 - t1, 3), round(t3 - t2, 3),
             ]
         ]
@@ -54,7 +61,10 @@ E13 = ScenarioSpec(
     experiment_id="E13",
     title="Runtime scaling (polynomial-time claim)",
     description="runtime scaling of the pipeline stages",
-    columns=("n", "m", "t_pcons_s", "t_construct_s", "t_verify_s"),
+    columns=(
+        "n", "m", "engine", "weight_scheme",
+        "t_pcons_s", "t_construct_s", "t_verify_s",
+    ),
     grid=e13_grid,
     measure="repro.harness.pipeline.specs.runtime:e13_measure",
     timing_columns=("t_pcons_s", "t_construct_s", "t_verify_s"),
@@ -89,10 +99,13 @@ def e16_measure(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.core import unprotected_edges, verify_subgraph
     from repro.engine import available_engines
 
+    from repro.engine import get_engine
+
     name = payload["workload"]
     graph, source = workload(name, **payload["params"])
     structure = build_epsilon_ftbfs(graph, source, 0.25)
     h_edges, e_prime = structure.edges, structure.reinforced
+    scheme = structure.stats.weight_scheme
     reference = None
     ref_unprotected = None
     ref_time = None
@@ -114,6 +127,7 @@ def e16_measure(payload: Dict[str, Any]) -> Dict[str, Any]:
         rows.append(
             [
                 name, graph.num_vertices, graph.num_edges, eng_name,
+                get_engine(eng_name).weighted_backend, scheme,
                 round(t1 - t0, 4), round(t2 - t1, 4),
                 round(ref_time / max(t1 - t0, 1e-9), 2), parity,
             ]
@@ -131,14 +145,16 @@ E16 = ScenarioSpec(
     title="Traversal engines: python reference vs csr kernels",
     description="traversal engines: python vs csr vs sharded (parity+speed)",
     columns=(
-        "workload", "n", "m", "engine", "t_verify_s", "t_unprotected_s",
-        "speedup_verify", "parity",
+        "workload", "n", "m", "engine", "weighted", "weight_scheme",
+        "t_verify_s", "t_unprotected_s", "speedup_verify", "parity",
     ),
     grid=e16_grid,
     measure="repro.harness.pipeline.specs.runtime:e16_measure",
     timing_columns=("t_verify_s", "t_unprotected_s", "speedup_verify"),
     notes=(
         "speedup_verify is relative to the first (python reference) engine",
+        "weighted/weight_scheme record each engine's weighted backend and "
+        "the scheme the structure was actually built under",
         "parity asserts identical VerificationReport + unprotected_edges output",
         "under --jobs > 1 the sharded row times its in-process fallback "
         "(pool workers never nest pools); bench_pipeline.py times real sharding",

@@ -2,8 +2,8 @@
 and replacement distances under single edge failures."""
 
 from repro.spt.bfs import UNREACHABLE, bfs_distances, bfs_distances_subset, bfs_tree
-from repro.spt.dijkstra import ShortestPathResult, dijkstra, seeded_dijkstra
 from repro.spt.replacement import EdgeFailure, ReplacementEngine
+from repro.spt.result import ShortestPathResult
 from repro.spt.sensitivity import DistanceSensitivityOracle
 from repro.spt.spt_tree import ShortestPathTree, build_spt
 from repro.spt.weights import AUTO, EXACT, RANDOM, WeightAssignment, make_weights
@@ -14,8 +14,6 @@ __all__ = [
     "bfs_distances_subset",
     "bfs_tree",
     "ShortestPathResult",
-    "dijkstra",
-    "seeded_dijkstra",
     "EdgeFailure",
     "ReplacementEngine",
     "DistanceSensitivityOracle",

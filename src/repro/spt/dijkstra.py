@@ -16,62 +16,26 @@ This is the workhorse of the whole library.  Key features:
 
 Weights are Python integers (``BIG * hops + perturbation``), so all
 comparisons are exact - no floating point anywhere near the tie-breaking.
+
+Only the engine layer (:mod:`repro.engine`) imports this module; every
+other call site goes through ``engine.shortest_paths`` /
+``engine.seeded_shortest_paths``, which lets array backends substitute
+the fast kernels of :mod:`repro.engine.weighted_kernels` when the
+weight scheme permits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro._types import EdgeId, Vertex
 from repro.errors import GraphError, TieBreakError
 from repro.graphs.graph import Graph
+from repro.spt.result import ShortestPathResult
 from repro.spt.weights import WeightAssignment
 
 __all__ = ["ShortestPathResult", "dijkstra", "seeded_dijkstra"]
-
-
-@dataclass
-class ShortestPathResult:
-    """Distances and parent pointers from a Dijkstra run.
-
-    ``dist[v]`` is the composite weight (``None`` when unreachable),
-    ``parent[v]``/``parent_eid[v]`` give the unique shortest-path tree
-    (``-1`` at the source and at unreachable vertices).
-    """
-
-    source: Vertex
-    dist: List[Optional[int]]
-    parent: List[int]
-    parent_eid: List[int]
-
-    def hops(self, weights: WeightAssignment, v: Vertex) -> Optional[int]:
-        """Hop distance to ``v`` (``None`` when unreachable)."""
-        d = self.dist[v]
-        return None if d is None else weights.hops(d)
-
-    def path_vertices(self, v: Vertex) -> List[Vertex]:
-        """The unique shortest path ``source -> v`` as a vertex list."""
-        if self.dist[v] is None:
-            raise GraphError(f"vertex {v} unreachable from {self.source}")
-        path = [v]
-        while v != self.source:
-            v = self.parent[v]
-            path.append(v)
-        path.reverse()
-        return path
-
-    def path_edges(self, v: Vertex) -> List[EdgeId]:
-        """The unique shortest path ``source -> v`` as edge ids."""
-        if self.dist[v] is None:
-            raise GraphError(f"vertex {v} unreachable from {self.source}")
-        edges = []
-        while v != self.source:
-            edges.append(self.parent_eid[v])
-            v = self.parent[v]
-        edges.reverse()
-        return edges
 
 
 def dijkstra(

@@ -115,9 +115,9 @@ class ReplacementEngine:
                 seeds.append((da + w_arr[cross_eid], b, a, cross_eid))
 
         if seeds:
-            # Dispatched through the engine layer; the weighted seeded
-            # traversal is shared by both built-in engines (big-int
-            # weights - see repro.engine.base).
+            # Dispatched through the engine layer: the csr engine runs
+            # the random scheme on array kernels (falling back to the
+            # big-int reference for exact weights and tiny subtrees).
             sp = get_engine().seeded_shortest_paths(
                 graph,
                 weights,

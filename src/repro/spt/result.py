@@ -1,0 +1,63 @@
+"""The weighted-traversal result type shared by every engine backend.
+
+:class:`ShortestPathResult` is the output contract of
+``TraversalEngine.shortest_paths`` / ``seeded_shortest_paths`` (and of
+the reference implementation in :mod:`repro.spt.dijkstra`).  It lives in
+its own module so that consumers of the *type* - the tree builder, the
+replacement-path engine, tests - never import a traversal
+implementation directly; the only code importing
+:mod:`repro.spt.dijkstra` is the engine layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro._types import EdgeId, Vertex
+from repro.errors import GraphError
+from repro.spt.weights import WeightAssignment
+
+__all__ = ["ShortestPathResult"]
+
+
+@dataclass
+class ShortestPathResult:
+    """Distances and parent pointers from a weighted traversal.
+
+    ``dist[v]`` is the composite weight (``None`` when unreachable),
+    ``parent[v]``/``parent_eid[v]`` give the unique shortest-path tree
+    (``-1`` at the source and at unreachable vertices).
+    """
+
+    source: Vertex
+    dist: List[Optional[int]]
+    parent: List[int]
+    parent_eid: List[int]
+
+    def hops(self, weights: WeightAssignment, v: Vertex) -> Optional[int]:
+        """Hop distance to ``v`` (``None`` when unreachable)."""
+        d = self.dist[v]
+        return None if d is None else weights.hops(d)
+
+    def path_vertices(self, v: Vertex) -> List[Vertex]:
+        """The unique shortest path ``source -> v`` as a vertex list."""
+        if self.dist[v] is None:
+            raise GraphError(f"vertex {v} unreachable from {self.source}")
+        path = [v]
+        while v != self.source:
+            v = self.parent[v]
+            path.append(v)
+        path.reverse()
+        return path
+
+    def path_edges(self, v: Vertex) -> List[EdgeId]:
+        """The unique shortest path ``source -> v`` as edge ids."""
+        if self.dist[v] is None:
+            raise GraphError(f"vertex {v} unreachable from {self.source}")
+        edges = []
+        while v != self.source:
+            edges.append(self.parent_eid[v])
+            v = self.parent[v]
+        edges.reverse()
+        return edges

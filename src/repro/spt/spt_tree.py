@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro._types import EdgeId, Vertex
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
-from repro.spt.dijkstra import ShortestPathResult, dijkstra
+from repro.spt.result import ShortestPathResult
 from repro.spt.weights import WeightAssignment
 
 __all__ = ["ShortestPathTree", "build_spt"]
@@ -32,7 +32,7 @@ class ShortestPathTree:
     """Unique shortest-path (BFS) tree rooted at ``source``.
 
     Build with :func:`build_spt`; the constructor takes a finished
-    :class:`~repro.spt.dijkstra.ShortestPathResult`.
+    :class:`~repro.spt.result.ShortestPathResult`.
     """
 
     def __init__(
@@ -218,6 +218,13 @@ class ShortestPathTree:
 def build_spt(
     graph: Graph, weights: WeightAssignment, source: Vertex
 ) -> ShortestPathTree:
-    """Run Dijkstra under ``weights`` and wrap the result as ``T0``."""
-    sp = dijkstra(graph, weights, source)
+    """Run the weighted traversal under ``weights`` and wrap it as ``T0``.
+
+    Dispatched through the engine layer, so the csr engine's array
+    kernels handle the random weight scheme (the exact scheme falls back
+    to the big-int reference Dijkstra inside the engine).
+    """
+    from repro.engine.registry import get_engine
+
+    sp = get_engine().shortest_paths(graph, weights, source)
     return ShortestPathTree(graph, weights, source, sp)

@@ -22,6 +22,19 @@ lexicographically.  Two schemes are provided:
   caller can reseed - uniqueness failures are loud, never silent.
 
 ``hops(weight)`` recovers the hop count as ``weight >> shift``.
+
+Array export (the weighted fast path)
+-------------------------------------
+A composite distance is the lexicographic pair ``(hops, pert_sum)``.
+``hops`` never overflows, and for the random scheme any simple path's
+``pert_sum`` is below ``2**19 * 2**44 < 2**63`` - so both components fit
+``int64`` *separately* even though the composite ``hops << 63`` does
+not.  :meth:`WeightAssignment.pert_array` exports the per-edge
+perturbations as a memoized read-only ``int64`` array for the array
+kernels in :mod:`repro.engine.weighted_kernels`; the export is ``None``
+whenever a perturbation cannot be represented (the exact scheme's
+``2**eid`` overflows ``int64`` past 62 edges), in which case engines
+fall back to the big-int reference Dijkstra.
 """
 
 from __future__ import annotations
@@ -66,6 +79,8 @@ class WeightAssignment:
     shift: int
     scheme: str
     seed: int = 0
+    #: Memoized numpy export (see :meth:`pert_array`); never compared.
+    _pert_cache: object = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def big(self) -> int:
@@ -90,6 +105,36 @@ class WeightAssignment:
 
     def __len__(self) -> int:
         return len(self.weights)
+
+    def pert_array(self):
+        """Per-edge perturbations as a read-only ``int64`` numpy array.
+
+        Returns ``(perts, max_pert)`` where ``perts[eid] = weights[eid] -
+        BIG``, or ``None`` when the assignment cannot be represented in
+        fixed width: numpy unavailable, a negative perturbation (weights
+        below ``BIG``), or a perturbation past ``int64`` (the exact
+        scheme's ``2**eid`` for ``eid >= 63``).  The export is memoized
+        on the assignment (like the Graph's cached CSR view), so
+        repeated engine calls never re-export.
+        """
+        cached = self._pert_cache
+        if cached is None:
+            cached = self._export_perts()
+            object.__setattr__(self, "_pert_cache", cached)
+        return None if cached == "unsupported" else cached
+
+    def _export_perts(self):
+        try:
+            import numpy as np
+        except ImportError:
+            return "unsupported"
+        big = self.big
+        perts = [w - big for w in self.weights]
+        if perts and (min(perts) < 0 or max(perts) >= 2**63):
+            return "unsupported"
+        arr = np.asarray(perts, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr, (max(perts) if perts else 0)
 
     def reseeded(self, new_seed: int) -> "WeightAssignment":
         """Return a random-scheme assignment with a fresh seed.

@@ -5,6 +5,11 @@ exponents such as ``n^{3/2}`` or ``n^{1+eps}``) by fitting a straight
 line to ``(log n, log size)`` pairs; :func:`fit_loglog` implements the
 least-squares fit and reports the exponent, the multiplicative constant
 and the coefficient of determination.
+
+Pure Python on purpose: these run on a handful of points per
+experiment, and keeping numpy out of the module keeps the whole library
+importable on the no-numpy CI matrix (where the python engine proves
+the array-free fallback path).
 """
 
 from __future__ import annotations
@@ -12,8 +17,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Sequence
-
-import numpy as np
 
 __all__ = ["LogLogFit", "fit_loglog", "SummaryStats", "summarize", "geometric_mean"]
 
@@ -48,16 +51,20 @@ def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> LogLogFit:
         raise ValueError("xs and ys must have equal length")
     if len(xs) < 2:
         raise ValueError("need at least two points for a power-law fit")
-    x_arr = np.asarray(xs, dtype=float)
-    y_arr = np.asarray(ys, dtype=float)
-    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
         raise ValueError("power-law fit requires strictly positive data")
-    lx = np.log(x_arr)
-    ly = np.log(y_arr)
-    slope, intercept = np.polyfit(lx, ly, 1)
-    predicted = slope * lx + intercept
-    ss_res = float(np.sum((ly - predicted) ** 2))
-    ss_tot = float(np.sum((ly - np.mean(ly)) ** 2))
+    lx = [math.log(float(x)) for x in xs]
+    ly = [math.log(float(y)) for y in ys]
+    k = len(lx)
+    mean_x = sum(lx) / k
+    mean_y = sum(ly) / k
+    var_x = sum((x - mean_x) ** 2 for x in lx)
+    if var_x == 0:
+        raise ValueError("power-law fit requires at least two distinct x values")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly)) / var_x
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(lx, ly))
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
     r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
     return LogLogFit(
         exponent=float(slope),
@@ -89,22 +96,28 @@ def summarize(values: Sequence[float]) -> SummaryStats:
     """Compute a :class:`SummaryStats` for a non-empty sample."""
     if len(values) == 0:
         raise ValueError("cannot summarize an empty sample")
-    arr = np.asarray(values, dtype=float)
+    data = [float(v) for v in values]
+    k = len(data)
+    mean = sum(data) / k
+    variance = sum((v - mean) ** 2 for v in data) / k  # population (ddof=0)
+    ordered = sorted(data)
+    mid = k // 2
+    median = ordered[mid] if k % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
     return SummaryStats(
-        count=int(arr.size),
-        mean=float(arr.mean()),
-        std=float(arr.std(ddof=0)),
-        minimum=float(arr.min()),
-        median=float(np.median(arr)),
-        maximum=float(arr.max()),
+        count=k,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
     )
 
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean of strictly positive values."""
-    arr = np.asarray(values, dtype=float)
-    if arr.size == 0:
+    data = [float(v) for v in values]
+    if not data:
         raise ValueError("cannot take the geometric mean of an empty sample")
-    if np.any(arr <= 0):
+    if any(v <= 0 for v in data):
         raise ValueError("geometric mean requires strictly positive values")
-    return float(np.exp(np.mean(np.log(arr))))
+    return math.exp(sum(math.log(v) for v in data) / len(data))

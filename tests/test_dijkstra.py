@@ -1,9 +1,16 @@
-"""Tests for the composite-weight Dijkstra, cross-validated with networkx."""
+"""Tests for the composite-weight Dijkstra, cross-validated with networkx.
+
+The reference implementation is exercised through the python engine's
+dispatch point (the engine layer is the only importer of
+:mod:`repro.spt.dijkstra`); every registered backend must match it
+bit for bit (``test_weighted_parity.py``).
+"""
 
 import networkx as nx
 import pytest
 from hypothesis import given, settings
 
+from repro.engine import get_engine
 from repro.errors import GraphError, TieBreakError
 from repro.graphs import (
     Graph,
@@ -13,10 +20,19 @@ from repro.graphs import (
     path_graph,
     to_networkx,
 )
-from repro.spt.dijkstra import dijkstra, seeded_dijkstra
 from repro.spt.weights import EXACT, RANDOM, WeightAssignment, make_weights
 
 from tests.conftest import graph_with_source
+
+_PY = get_engine("python")
+
+
+def dijkstra(graph, weights, source, **kwargs):
+    return _PY.shortest_paths(graph, weights, source, **kwargs)
+
+
+def seeded_dijkstra(graph, weights, seeds, **kwargs):
+    return _PY.seeded_shortest_paths(graph, weights, seeds, **kwargs)
 
 
 def hop_dists(graph, source, **kwargs):

@@ -15,6 +15,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+pytest.importorskip("numpy")  # the csr engine under test is numpy-gated
+
 from repro.core import build_epsilon_ftbfs, unprotected_edges, verify_subgraph
 from repro.engine import (
     UNREACHABLE,

@@ -20,7 +20,12 @@ from repro.harness.pipeline import (
     mask_timing,
     spec_ids,
 )
-from repro.harness.pipeline.cache import load_points, points_path
+from repro.harness.pipeline.cache import (
+    compact_points,
+    load_points,
+    points_path,
+    stage_fingerprint,
+)
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +194,93 @@ class TestStreamingAndResume:
         spec = _probe_spec(tmp_path)
         PipelineRunner(jobs=1).run(spec, quick=True)
         assert not points_path(tmp_path, "EPROBE").exists()
+
+    def test_compaction_drops_superseded_generations(self, tmp_path):
+        """Dead lines (stale fingerprints, duplicate keys, corruption)
+        are atomically rewritten away on load instead of accumulating
+        until --fresh."""
+        import json as _json
+
+        spec = _probe_spec(tmp_path)
+        runner = PipelineRunner(jobs=1, cache_dir=tmp_path)
+        reference = runner.run(spec, quick=True)
+        stream = points_path(tmp_path, "EPROBE")
+        lines = stream.read_text().splitlines()
+        assert len(lines) == 5
+        # Simulate an accumulated stream: a stale-fingerprint generation,
+        # a superseded duplicate of a live key, and a truncated line.
+        stale = _json.loads(lines[0])
+        stale["key"] = "deadbeef" * 2 + "dead"
+        stale["fingerprint"] = "0ld0ld0ld0ld"
+        duplicate = lines[1]
+        stream.write_text(
+            "\n".join([_json.dumps(stale), duplicate, *lines, lines[2][:30]])
+            + "\n"
+        )
+        resumed = PipelineRunner(jobs=1, cache_dir=tmp_path).run(spec, quick=True)
+        assert resumed.params["cached"] == 5 and resumed.params["executed"] == 0
+        assert resumed.rows == reference.rows
+        kept = stream.read_text().splitlines()
+        assert len(kept) == 5  # one live line per point, nothing else
+        assert all(
+            _json.loads(line)["fingerprint"] == stage_fingerprint(spec)
+            for line in kept
+        )
+
+    def test_compaction_keeps_other_seeds_and_engines(self, tmp_path):
+        """Lines for other (seed, engine, quick) configurations share the
+        fingerprint and are still-reachable generations - never dropped."""
+        spec = _probe_spec(tmp_path)
+        runner = PipelineRunner(jobs=1, cache_dir=tmp_path)
+        runner.run(spec, quick=True, seed=0)
+        runner.run(spec, quick=True, seed=1)
+        # A third run at seed 0 compacts on load; the seed-1 generation
+        # must survive and both seeds must resume fully cached.
+        a = runner.run(spec, quick=True, seed=0)
+        b = runner.run(spec, quick=True, seed=1)
+        assert a.params["cached"] == 5 and a.params["executed"] == 0
+        assert b.params["cached"] == 5 and b.params["executed"] == 0
+        stream = points_path(tmp_path, "EPROBE")
+        assert len(stream.read_text().splitlines()) == 10
+
+    def test_compaction_skipped_while_another_run_appends(self, tmp_path):
+        """An appender's shared lock must block compaction: replacing
+        the inode under a live append handle would orphan its points."""
+        import json as _json
+
+        fcntl = pytest.importorskip("fcntl")
+        from repro.harness.pipeline.cache import open_append_stream
+
+        spec = _probe_spec(tmp_path)
+        PipelineRunner(jobs=1, cache_dir=tmp_path).run(spec, quick=True)
+        stream = points_path(tmp_path, "EPROBE")
+        lines = stream.read_text().splitlines()
+        stream.write_text("\n".join([lines[0], *lines]) + "\n")  # dead dup
+
+        writer = open_append_stream(stream)  # simulates a concurrent run
+        try:
+            entries = compact_points(
+                stream, fingerprint=stage_fingerprint(spec)
+            )
+            assert len(entries) == 5  # loaded fine...
+            assert len(stream.read_text().splitlines()) == 6  # ...no rewrite
+            writer.write(_json.dumps({"probe": True}) + "\n")
+            writer.flush()
+        finally:
+            writer.close()
+        # with the appender gone, the next load compacts (dup + probe line)
+        entries = compact_points(stream, fingerprint=stage_fingerprint(spec))
+        assert len(entries) == 5
+        assert len(stream.read_text().splitlines()) == 5
+
+    def test_compaction_noop_leaves_stream_untouched(self, tmp_path):
+        spec = _probe_spec(tmp_path)
+        PipelineRunner(jobs=1, cache_dir=tmp_path).run(spec, quick=True)
+        stream = points_path(tmp_path, "EPROBE")
+        before = stream.stat().st_mtime_ns
+        entries = compact_points(stream, fingerprint=stage_fingerprint(spec))
+        assert len(entries) == 5
+        assert stream.stat().st_mtime_ns == before  # no rewrite happened
 
     def test_measure_code_fingerprint_busts_cache(self, tmp_path):
         """Cache keys hash the measure stage's source: a code edit must

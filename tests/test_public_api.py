@@ -37,7 +37,15 @@ def test_packages_have_docstrings(package):
 def test_every_module_has_docstring():
     missing = []
     for info in pkgutil.walk_packages(repro.__path__, "repro."):
-        mod = importlib.import_module(info.name)
+        try:
+            mod = importlib.import_module(info.name)
+        except ImportError:
+            # numpy-gated modules (the csr engine stack) are absent on
+            # the no-numpy matrix; any other import failure is a real
+            # break this walk exists to catch.
+            if importlib.util.find_spec("numpy") is None:
+                continue
+            raise
         if not (mod.__doc__ and mod.__doc__.strip()):
             missing.append(info.name)
     assert not missing, f"modules without docstrings: {missing}"

@@ -106,7 +106,9 @@ class TestWeightedConsistency:
 @given(graph_with_source(max_vertices=14))
 def test_replacement_matches_full_dijkstra(pair):
     """Subtree-restricted recompute equals a from-scratch banned-edge run."""
-    from repro.spt.dijkstra import dijkstra
+    from repro.engine import get_engine
+
+    dijkstra = get_engine("python").shortest_paths
 
     g, source = pair
     tree = build_spt(g, make_weights(g, EXACT), source)
