@@ -129,6 +129,8 @@ def _cmd_engines() -> int:
         marker = "  (default)" if name == default else ""
         print(f"  {name:<8} {type(engine).__name__}{marker}")
         print(f"  {'':<8}   weighted: {engine.weighted_backend}")
+        print(f"  {'':<8}   replacement: {engine.replacement_backend}")
+        print(f"  {'':<8}   detours: {engine.detour_backend}")
     print(f"select with --engine, ${ENGINE_ENV_VAR}, or repro.engine.set_default_engine")
     return 0
 

@@ -9,6 +9,11 @@ endpoint of the tradeoff, used by Theorem 3.1 for the whole regime
 Correctness follows from Observation 2.2: with every pair last-protected
 (covered pairs end in a ``T0`` edge, uncovered pairs' last edges are all
 added), every fault-prone edge is protected, so ``E' = {}``.
+
+Runtime: everything expensive lives in ``run_pcons``, so this baseline
+rides the batched replacement subsystem for free - the eager
+``weighted_failure_sweep`` fill plus the batched detour Dijkstras
+(see :mod:`repro.core.pcons`).
 """
 
 from __future__ import annotations

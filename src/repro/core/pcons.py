@@ -25,14 +25,25 @@ replacement path ``P_{v,e} in SP(s, v, G \\ {e})``:
    the path); then ``L(j) = dist_W(s, u_j) + delta(j)`` and a single scan
    computes ``j*`` for every failing edge of ``v`` at once.
 
+Batched execution (PR 4): Pcons touches *every* tree edge, so the
+replacement engine is filled eagerly through the engine layer's
+``weighted_failure_sweep`` (one amortized pass over all failures)
+before the pair loop runs, and the per-vertex detour Dijkstras are
+collected into ``pending_by_vertex`` and dispatched as one
+``batched_shortest_paths`` call (stacked level-synchronous relaxations
+on the csr engine).  Both batched paths are bit-identical to the
+per-call loops by engine contract; the replacement sweep/hit counters
+are surfaced on :class:`PconsStats`.
+
 Replacement *distances* ``dist(s, v, G \\ {e})`` come from the
 subtree-restricted engine in :mod:`repro.spt.replacement`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro._types import EdgeId, Vertex
 from repro.engine.registry import get_engine
@@ -58,6 +69,12 @@ class PconsStats:
     num_disconnected: int = 0
     num_detour_dijkstras: int = 0
     total_detour_length: int = 0
+    #: Replacement-engine economics (see ReplacementEngine.stats()):
+    #: failures filled by the weighted sweep vs computed lazily, and
+    #: cache hits served without recomputing.
+    replacement_sweep_fills: int = 0
+    replacement_lazy_computes: int = 0
+    replacement_cache_hits: int = 0
 
     @property
     def max_pairs_possible(self) -> int:
@@ -118,6 +135,10 @@ def _run_once(
 ) -> PconsResult:
     tree = build_spt(graph, weights, source)
     engine = ReplacementEngine(tree)
+    # Every tree edge fails below, so fill the replacement cache through
+    # the engine layer's amortized sweep up front (bit-identical to the
+    # lazy per-edge recomputes it replaces).
+    engine.precompute_all()
     stats = PconsStats()
     w_arr = weights.weights
 
@@ -183,9 +204,36 @@ def _run_once(
                 stats.num_uncovered += 1
                 pending_by_vertex.setdefault(v, []).append(rec)
 
-    for v, pending in pending_by_vertex.items():
-        stats.num_detour_dijkstras += 1
-        _fill_detours(tree, weights, v, pending, stats)
+    # All detour Dijkstras in one batched call: each source v is banned
+    # from re-entering pi(s, v) internally, exactly like the per-call
+    # loop this replaces; results stream back in source order.  Ban sets
+    # stream in lockstep with the engine's consumption (it reads at most
+    # one chunk ahead), so only O(chunk) paths are alive at once - the
+    # per-call loop's memory profile.
+    if pending_by_vertex:
+        detour_sources = list(pending_by_vertex)
+        paths_in_flight: Deque[List[Vertex]] = deque()
+
+        def ban_sets():
+            for v in detour_sources:
+                path = tree.path_vertices(v)
+                paths_in_flight.append(path)
+                yield set(path) - {v}
+
+        detour_sps = get_engine().batched_shortest_paths(
+            graph, weights, detour_sources, ban_sets()
+        )
+        for v, sp in zip(detour_sources, detour_sps):
+            stats.num_detour_dijkstras += 1
+            _fill_detours(
+                tree, weights, v, paths_in_flight.popleft(),
+                pending_by_vertex[v], stats, sp,
+            )
+
+    rstats = engine.stats()
+    stats.replacement_sweep_fills = rstats.sweep_fills
+    stats.replacement_lazy_computes = rstats.lazy_computes
+    stats.replacement_cache_hits = rstats.hits
 
     pair_set = PairSet(records)
     return PconsResult(
@@ -203,21 +251,21 @@ def _fill_detours(
     tree: ShortestPathTree,
     weights: WeightAssignment,
     v: Vertex,
+    path_vertices: List[Vertex],
     pending: Sequence[PairRecord],
     stats: PconsStats,
+    sp,
 ) -> None:
-    """Compute divergence points and detours for ``v``'s uncovered pairs."""
+    """Compute divergence points and detours for ``v``'s uncovered pairs.
+
+    ``path_vertices`` is ``pi(s, v)`` as ``[u_0, ..., u_k = v]``; ``sp``
+    is ``v``'s detour Dijkstra - a traversal from ``v`` avoiding the
+    path internally, supplied by the caller's batched dispatch.
+    """
     graph = tree.graph
     w_arr = weights.weights
-    path_vertices = tree.path_vertices(v)  # u_0 .. u_k (u_k = v)
     k = len(path_vertices) - 1
     path_set = set(path_vertices)
-    banned = path_set - {v}
-
-    # Detour Dijkstra from v avoiding pi(s, v) internally (dispatched
-    # through the engine layer; under the random scheme the csr engine
-    # runs this on the weighted array kernels).
-    sp = get_engine().shortest_paths(graph, weights, v, banned_vertices=banned)
 
     # delta(j): cheapest escape from u_j into the detour region, plus the
     # detour's first edge (u_j, w).  Records (value, w, eid) per j.
@@ -269,16 +317,33 @@ def _fill_detours(
                 f"best={best_hops})"
             )
         j_star = best_j
+        entry = delta[j_star] if 0 <= j_star < k else None
+        if entry is None:
+            # best_j only ever points at a computed delta; anything else
+            # is internal corruption - fail loudly with the pair's
+            # coordinates instead of the bare TypeError the unguarded
+            # delta[j_star] subscript used to raise.
+            raise ReproError(
+                "internal inconsistency: divergence index without a detour "
+                f"entry (v={v}, eid={rec.eid}, j_star={j_star})"
+            )
         rec.div_index = j_star
         rec.divergence = path_vertices[j_star]
-        detour = _extract_detour(sp, path_vertices[j_star], delta[j_star], v)
+        detour = _extract_detour(sp, path_vertices[j_star], entry, v)
         rec.detour = detour
         stats.total_detour_length += len(detour) - 1
         # Last edge of P_{v,e} = the detour edge entering v.
         if len(detour) == 2:
-            rec.last_eid = delta[j_star][2]  # direct edge (u_j, v)
+            rec.last_eid = entry[2]  # direct edge (u_j, v)
         else:
-            rec.last_eid = sp.parent_eid[detour[-2]]
+            last_eid = sp.parent_eid[detour[-2]]
+            if last_eid is None or last_eid < 0:
+                raise ReproError(
+                    "internal inconsistency: detour tail has no parent edge "
+                    f"(v={v}, eid={rec.eid}, j_star={j_star}, "
+                    f"tail={detour[-2]})"
+                )
+            rec.last_eid = last_eid
 
 
 def _extract_detour(
@@ -298,6 +363,12 @@ def _extract_detour(
     chain = [w_star]
     cur = w_star
     while cur != v:
-        cur = sp.parent[cur]
+        nxt = sp.parent[cur]
+        if nxt is None or nxt < 0:
+            raise ReproError(
+                "internal inconsistency: broken detour parent chain "
+                f"(vertex {cur} has no parent on the way back to {v})"
+            )
+        cur = nxt
         chain.append(cur)
     return (u_j, *chain)

@@ -11,7 +11,10 @@ the edge tradeoff): the same last-edge strategy applies - ``T0`` plus the
 last edges of vertex-avoiding replacement paths - with the analogous
 Observation 2.2 induction justifying last-edge sufficiency.  Replacement
 distances per failed vertex ``x`` are computed with a Dijkstra restricted
-to ``subtree(x) \\ {x}``, seeded from crossing edges that avoid ``x``.
+to ``subtree(x) \\ {x}``, seeded from crossing edges that avoid ``x``;
+all failed vertices ride the engine layer's
+``batched_seeded_shortest_paths`` in one amortized dispatch (PR 4), the
+vertex-fault sibling of the edge sweep behind ``run_pcons``.
 
 An independent verification oracle (`verify_vertex_fault`) re-checks the
 guarantee with plain BFS per failed vertex.
@@ -19,8 +22,9 @@ guarantee with plain BFS per failed vertex.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._types import EdgeId, Vertex
 from repro.engine.registry import get_engine
@@ -79,14 +83,36 @@ def build_vertex_fault_ftbfs(
     num_pairs = num_covered = num_uncovered = num_disconnected = 0
 
     # Pairs <v, x>: v reachable, x an internal vertex of pi(s, v).
-    # Group by failed vertex x: recompute distances inside subtree(x)\{x}.
-    for x in tree.preorder:
-        if x == source:
-            continue
-        sub = [u for u in tree.subtree_vertices(x) if u != x]
-        if not sub:
-            continue
-        failure = _vertex_failure_distances(graph, tree, weights, x, sub)
+    # Group by failed vertex x: recompute distances inside subtree(x)\{x},
+    # every x batched through one engine dispatch (results stream back
+    # in the same preorder the per-call loop used).  The batch source is
+    # a generator, so only one engine chunk's worth of seed lists is
+    # ever materialized - peak memory matches the old per-x loop.
+    failed_vertices = [
+        x for x in tree.preorder
+        if x != source and tree.subtree_size(x) > 1
+    ]
+    # The engine consumes batches at most one chunk ahead of the result
+    # stream, so handing each punctured subtree over via a deque shares
+    # it between producer and consumer with O(chunk) of them alive.
+    subs_in_flight: Deque[List[Vertex]] = deque()
+
+    def batches():
+        for x in failed_vertices:
+            sub = [u for u in tree.subtree_vertices(x) if u != x]
+            subs_in_flight.append(sub)
+            yield (
+                _vertex_failure_seeds(graph, tree, weights, x, sub),
+                set(sub),
+                None,
+            )
+
+    batched = get_engine().batched_seeded_shortest_paths(
+        graph, weights, batches()
+    )
+    for x, sp in zip(failed_vertices, batched):
+        sub = subs_in_flight.popleft()
+        failure = {v: sp.dist[v] for v in sub}
 
         for v in sub:
             num_pairs += 1
@@ -145,20 +171,21 @@ def build_vertex_fault_ftbfs(
     )
 
 
-def _vertex_failure_distances(
+def _vertex_failure_seeds(
     graph: Graph,
     tree: ShortestPathTree,
     weights: WeightAssignment,
     x: Vertex,
     sub: List[Vertex],
-) -> Dict[Vertex, Optional[int]]:
-    """Distances ``dist_W(s, v, G \\ {x})`` for ``v`` in ``subtree(x)\\{x}``."""
-    allowed = set(sub)
+) -> List[Tuple[int, Vertex, Vertex, EdgeId]]:
+    """Crossing-edge seeds for the ``G \\ {x}`` recompute inside
+    ``subtree(x) \\ {x}`` (a seedless batch settles nothing, which is
+    exactly the all-disconnected answer)."""
     tin_x, tout_x = tree.tin[x], tree.tout[x]
     tins = tree.tin
     dist0 = tree.dist
     w_arr = weights.weights
-    seeds = []
+    seeds: List[Tuple[int, Vertex, Vertex, EdgeId]] = []
     for b in sub:
         for a, eid in graph.adjacency(b):
             if a == x:
@@ -170,12 +197,7 @@ def _vertex_failure_distances(
             if da is None:
                 continue
             seeds.append((da + w_arr[eid], b, a, eid))
-    if not seeds:
-        return {v: None for v in sub}
-    sp = get_engine().seeded_shortest_paths(
-        graph, weights, seeds, allowed_vertices=allowed
-    )
-    return {v: sp.dist[v] for v in sub}
+    return seeds
 
 
 def _dist_for(

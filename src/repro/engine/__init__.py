@@ -24,6 +24,14 @@ Engine contract (details in :mod:`repro.engine.base`)
   the shared reference implementation.  Each engine reports its
   weighted capability via ``weighted_backend`` (shown by
   ``repro engines``).
+* ``weighted_failure_sweep`` / ``batched_shortest_paths`` /
+  ``batched_seeded_shortest_paths``: the batched replacement subsystem -
+  replacement distances for *all* tree-edge failures, and many
+  independent (seeded) weighted traversals, in one amortized pass.  The
+  reference implementations are the per-call loops; the csr engine
+  stacks the runs into shared per-level kernels, and the sharded engine
+  fans the weighted sweep over worker processes.  Reported via
+  ``replacement_backend`` / ``detour_backend``.
 
 Built-in engines
 ----------------
@@ -48,10 +56,12 @@ sweep workers honor :class:`repro.harness.parallel.SweepTask.engine`.
 
 from repro.engine.base import (
     UNREACHABLE,
+    ReplacementSweepItem,
     SweepHandle,
     TraversalEngine,
     distances_equal,
     num_unreachable,
+    replacement_failure,
 )
 from repro.engine.registry import (
     ENGINE_ENV_VAR,
@@ -67,10 +77,12 @@ from repro.engine.sharded import ShardedEngine
 __all__ = [
     "ShardedEngine",
     "UNREACHABLE",
+    "ReplacementSweepItem",
     "SweepHandle",
     "TraversalEngine",
     "distances_equal",
     "num_unreachable",
+    "replacement_failure",
     "ENGINE_ENV_VAR",
     "available_engines",
     "default_engine_name",

@@ -13,22 +13,49 @@ library can build); the exact scheme's ``2**eid`` perturbations are
 arbitrary-precision and transparently fall back to the shared big-int
 reference Dijkstra.  Either way the results - distances, parents,
 parent edges, tie errors - are bit-identical to the reference.
+
+The batched primitives (``weighted_failure_sweep``,
+``batched_shortest_paths``, ``batched_seeded_shortest_paths``) run many
+independent traversals as *stacked* level-synchronous relaxations: each
+batch occupies its own layer of a virtual ``B * n`` vertex space over
+the one shared CSR view, so every hop level costs one set of numpy
+invocations for the whole batch instead of one per traversal.  The
+sweep additionally enumerates its crossing-edge seeds vectorized from
+the tree's Euler intervals instead of via Python ``adjacency()`` loops.
+Chunking bounds the stacked state (``_STACK_STATE`` entries per chunk);
+plans that cannot be represented fall back to the reference loops of
+:class:`~repro.engine.base.TraversalEngine`, exactly like the per-call
+weighted paths.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro._types import EdgeId, Vertex
-from repro.engine.base import UNREACHABLE
+from repro.engine.base import (
+    UNREACHABLE,
+    ReplacementSweepItem,
+    SeedBatch,
+    TraversalEngine,
+    _zip_sources_and_bans,
+)
 from repro.engine.csr import csr_view
-from repro.engine.kernels import FailureSweep, bfs_levels, bfs_levels_ordered
+from repro.engine.kernels import (
+    FailureSweep,
+    bfs_levels,
+    bfs_levels_ordered,
+    expand_frontier,
+)
 from repro.engine.python_engine import PythonEngine, _check_source
 from repro.engine.weighted_kernels import (
+    SeedArrays,
     assemble_result,
     decompose_seeds,
+    stacked_expander,
+    unstack_layer,
     weighted_levels,
     weighted_plan,
 )
@@ -36,6 +63,34 @@ from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
 __all__ = ["CSREngine"]
+
+#: Cap on stacked state entries (``B * n``) per chunk; bounds the five
+#: int64 state arrays of a stacked run at ~16 MB regardless of how many
+#: batches a caller requests.
+_STACK_STATE = 1 << 21
+
+#: Per-chunk frontier-expansion budget (half-edge entries).  The level
+#: streams are what the relaxation repeatedly passes over, so chunks are
+#: sized to keep them cache-resident: full-graph batches on a large
+#: graph degrade to one layer per chunk (their single-layer streams
+#: already saturate the cache), while subtree-restricted batches pack
+#: hundreds of layers per chunk.
+_STACK_STREAM = 1 << 17
+
+
+def _stream_chunks(sizes, budget: int, max_batch: int):
+    """Greedy ``(lo, hi)`` ranges: pack batches until their summed
+    expansion reaches ``budget`` (always at least one per chunk)."""
+    lo = 0
+    total = 0
+    for i, size in enumerate(sizes):
+        total += size
+        if total >= budget or i - lo + 1 >= max_batch:
+            yield lo, i + 1
+            lo = i + 1
+            total = 0
+    if lo < len(sizes):
+        yield lo, len(sizes)
 
 
 def _valid_ids(ids: Iterable[int], limit: int) -> np.ndarray:
@@ -87,6 +142,8 @@ class CSREngine(PythonEngine):
 
     name = "csr"
     weighted_backend = "array (random scheme) + reference fallback"
+    replacement_backend = "stacked subtree sweep (random scheme) + reference fallback"
+    detour_backend = "stacked multi-source levels (random scheme) + reference fallback"
 
     def distances(
         self,
@@ -255,3 +312,386 @@ class CSREngine(PythonEngine):
         return assemble_result(
             -1, weights.shift, settled, hop, pert, parent, parent_eid
         )
+
+    # -- batched primitives (stacked layers over one CSR view) ---------
+    def batched_shortest_paths(
+        self,
+        graph: Graph,
+        weights,
+        sources: Sequence[Vertex],
+        banned_vertices_per_source: Optional[Iterable[Optional[Set[Vertex]]]] = None,
+        *,
+        raise_on_tie: bool = True,
+    ):
+        perts = weighted_plan(graph, weights)
+        if perts is None:
+            yield from super().batched_shortest_paths(
+                graph, weights, sources, banned_vertices_per_source,
+                raise_on_tie=raise_on_tie,
+            )
+            return
+        csr = csr_view(graph)
+        n = csr.num_vertices
+        # Every full-graph layer expands ~2m half-edges; ban sets stream
+        # in lockstep with sources, so only one chunk's worth is alive.
+        per_chunk = max(
+            1,
+            min(
+                _STACK_STATE // max(1, n),
+                _STACK_STREAM // max(1, 2 * csr.num_edges) + 1,
+            ),
+        )
+        chunk_sources: List[Vertex] = []
+        chunk_bans: List[Optional[Set[Vertex]]] = []
+        for source, banned in _zip_sources_and_bans(
+            sources, banned_vertices_per_source
+        ):
+            chunk_sources.append(source)
+            chunk_bans.append(banned)
+            if len(chunk_sources) >= per_chunk:
+                yield from self._source_chunk(
+                    graph, csr, weights, perts, chunk_sources, chunk_bans,
+                    raise_on_tie,
+                )
+                chunk_sources, chunk_bans = [], []
+        if chunk_sources:
+            yield from self._source_chunk(
+                graph, csr, weights, perts, chunk_sources, chunk_bans,
+                raise_on_tie,
+            )
+
+    def _source_chunk(
+        self,
+        graph: Graph,
+        csr,
+        weights,
+        perts: np.ndarray,
+        chunk_sources: List[Vertex],
+        chunk_bans: List[Optional[Set[Vertex]]],
+        raise_on_tie: bool,
+    ):
+        """One stacked chunk of full-graph single-source traversals."""
+        n = csr.num_vertices
+        B = len(chunk_sources)
+        for v, banned in zip(chunk_sources, chunk_bans):
+            _check_source(graph, v)
+            if banned and v in banned:
+                raise GraphError(f"source {v} is banned")
+        vertex_ok = None
+        if any(chunk_bans):
+            vertex_ok = np.ones(B * n, dtype=bool)
+            for b, banned in enumerate(chunk_bans):
+                if banned:
+                    vertex_ok[b * n + _valid_ids(banned, n)] = False
+        zeros = np.zeros(B, dtype=np.int64)
+        minus = np.full(B, -1, dtype=np.int64)
+        seed_v = np.arange(B, dtype=np.int64) * n + np.asarray(
+            chunk_sources, dtype=np.int64
+        )
+        settled, hop, pert, parent, parent_eid = weighted_levels(
+            csr,
+            perts,
+            SeedArrays(zeros, zeros, seed_v, minus, minus),
+            vertex_ok=vertex_ok,
+            raise_on_tie=raise_on_tie,
+            scheme=weights.scheme,
+            num_vertices=B * n,
+            expand=stacked_expander(csr),
+            layer_width=n,
+        )
+        for b, v in enumerate(chunk_sources):
+            yield assemble_result(
+                v,
+                weights.shift,
+                *unstack_layer(n, b, settled, hop, pert, parent, parent_eid),
+            )
+
+    def batched_seeded_shortest_paths(
+        self,
+        graph: Graph,
+        weights,
+        batches: Iterable[SeedBatch],
+        *,
+        raise_on_tie: bool = True,
+    ):
+        # Assignments no chunk could ever run on the kernels (exact
+        # scheme, unexportable perturbations) delegate wholesale before
+        # any big-int seed decomposition happens.
+        if weighted_plan(graph, weights) is None:
+            yield from super().batched_seeded_shortest_paths(
+                graph, weights, batches, raise_on_tie=raise_on_tie
+            )
+            return
+        # Incremental consumption: batches may be a generator (the
+        # vertex-fault caller streams one punctured subtree at a time),
+        # so accumulate only up to one chunk's expansion budget before
+        # running it - peak memory stays O(chunk), like the per-call
+        # loop this replaces.
+        csr = csr_view(graph)
+        n = csr.num_vertices
+        max_batch = max(1, _STACK_STATE // max(1, n))
+        deg = csr.indptr[1:] - csr.indptr[:-1]
+        chunk_batches: List[SeedBatch] = []
+        chunk_seeds: List[list] = []
+        expansion = 0
+        for seeds, allowed, banned_edge in batches:
+            seeds = list(seeds)
+            chunk_batches.append((seeds, allowed, banned_edge))
+            chunk_seeds.append(decompose_seeds(seeds, weights.shift))
+            expansion += int(deg[_valid_ids(allowed, n)].sum())
+            if expansion >= _STACK_STREAM or len(chunk_batches) >= max_batch:
+                yield from self._seeded_chunk(
+                    graph, csr, weights, chunk_batches, chunk_seeds,
+                    raise_on_tie,
+                )
+                chunk_batches, chunk_seeds, expansion = [], [], 0
+        if chunk_batches:
+            yield from self._seeded_chunk(
+                graph, csr, weights, chunk_batches, chunk_seeds, raise_on_tie
+            )
+
+    def _seeded_chunk(
+        self,
+        graph: Graph,
+        csr,
+        weights,
+        chunk_batches: List[SeedBatch],
+        chunk_seeds: List[list],
+        raise_on_tie: bool,
+    ):
+        """Run one chunk of seeded batches stacked (reference fallback
+        per chunk, gated exactly like the per-call seeded path)."""
+        max_seed_pert = max(
+            (p0 for batch in chunk_seeds for _, p0, _, _, _ in batch), default=0
+        )
+        perts = weighted_plan(graph, weights, max_seed_pert=max_seed_pert)
+        if perts is None:
+            yield from TraversalEngine.batched_seeded_shortest_paths(
+                self, graph, weights, chunk_batches, raise_on_tie=raise_on_tie
+            )
+            return
+        n = csr.num_vertices
+        B = len(chunk_batches)
+        allowed_ok = np.zeros(B * n, dtype=bool)
+        banned = np.full(B, -1, dtype=np.int64)
+        any_ban = False
+        cols = {k: [] for k in ("hop", "pert", "vertex", "parent", "parent_eid")}
+        for b, ((_, allowed, banned_edge), seeds) in enumerate(
+            zip(chunk_batches, chunk_seeds)
+        ):
+            allowed_ok[b * n + _valid_ids(allowed, n)] = True
+            if banned_edge is not None:
+                banned[b] = banned_edge
+                any_ban = True
+            off = b * n
+            for h0, p0, v0, par0, pe0 in seeds:
+                # Out-of-range seed vertices fail the allowed check
+                # with the reference's GraphError, not numpy's
+                # wraparound: park them past every layer, encoded so
+                # the error message can recover the original id
+                # (negatives already fail the >= 0 check as-is).
+                if 0 <= v0 < n:
+                    stacked = off + v0
+                elif v0 < 0:
+                    stacked = v0
+                else:
+                    stacked = B * n + 1 + min(v0, 1 << 40)
+                cols["vertex"].append(stacked)
+                cols["hop"].append(h0)
+                cols["pert"].append(p0)
+                cols["parent"].append(par0)
+                cols["parent_eid"].append(pe0)
+        sa = SeedArrays(
+            **{k: np.asarray(v, dtype=np.int64) for k, v in cols.items()}
+        )
+        settled, hop, pert, parent, parent_eid = weighted_levels(
+            csr,
+            perts,
+            sa,
+            allowed_ok=allowed_ok,
+            raise_on_tie=raise_on_tie,
+            scheme=weights.scheme,
+            num_vertices=B * n,
+            expand=stacked_expander(
+                csr, banned_eid_per_batch=banned if any_ban else None
+            ),
+            layer_width=n,
+        )
+        for b in range(B):
+            yield assemble_result(
+                -1,
+                weights.shift,
+                *unstack_layer(n, b, settled, hop, pert, parent, parent_eid),
+            )
+
+    def weighted_failure_sweep(
+        self,
+        graph: Graph,
+        weights,
+        tree,
+        eids: Optional[Sequence[EdgeId]] = None,
+    ) -> Iterator[ReplacementSweepItem]:
+        edge_list = list(eids) if eids is not None else tree.tree_edges()
+        if not edge_list:
+            return
+        export = weights.pert_array()
+        plan0 = weighted_plan(graph, weights)
+        if plan0 is None or export is None:
+            yield from super().weighted_failure_sweep(
+                graph, weights, tree, eids=edge_list
+            )
+            return
+        shift = weights.shift
+        mask = (1 << shift) - 1
+        n = graph.num_vertices
+        # Per-vertex tree metadata, decomposed once for the whole sweep.
+        pert0_list = [0] * n
+        max_pert0 = 0
+        for v, d in enumerate(tree.dist):
+            if d is not None:
+                p = d & mask
+                pert0_list[v] = p
+                if p > max_pert0:
+                    max_pert0 = p
+        # Re-gate with the largest possible crossing-edge seed: the plan
+        # must prove seed + path perturbations never carry into the hop
+        # bits, exactly as the per-call seeded path does.
+        perts = weighted_plan(
+            graph, weights, max_seed_pert=max_pert0 + export[1]
+        )
+        if perts is None:
+            yield from super().weighted_failure_sweep(
+                graph, weights, tree, eids=edge_list
+            )
+            return
+        csr = csr_view(graph)
+        hop0 = np.asarray(tree.depth, dtype=np.int64)
+        pert0 = np.asarray(pert0_list, dtype=np.int64)
+        tin = np.asarray(tree.tin, dtype=np.int64)
+        tout = np.asarray(tree.tout, dtype=np.int64)
+        preorder = np.asarray(tree.preorder, dtype=np.int64)
+        child_of = {
+            tree.parent_eid[v]: v for v in tree.preorder if v != tree.source
+        }
+        children = [
+            child_of[eid] if eid in child_of else tree.edge_child(eid)
+            for eid in edge_list  # edge_child raises for non-tree edges
+        ]
+        # Chunk by subtree expansion: prefix sums of the preorder-ordered
+        # degrees give each failed subtree's half-edge count in O(1).
+        deg_pre = (csr.indptr[1:] - csr.indptr[:-1])[preorder]
+        cum = np.concatenate([[0], np.cumsum(deg_pre)])
+        sizes = [int(cum[tout[c]] - cum[tin[c]]) for c in children]
+        max_batch = max(1, _STACK_STATE // max(1, n))
+        chunks = list(_stream_chunks(sizes, _STACK_STREAM, max_batch))
+        # One state buffer for the whole sweep: subtree layers only ever
+        # touch their own vertices, so each chunk resets exactly the
+        # positions it wrote instead of paying an O(B * n) allocation.
+        size = max(hi - lo for lo, hi in chunks) * n
+        state = (
+            np.zeros(size, dtype=bool),
+            np.full(size, -1, dtype=np.int64),
+            np.empty(size, dtype=np.int64),
+            np.empty(size, dtype=np.int64),
+            np.empty(size, dtype=np.int64),
+            np.zeros(size, dtype=bool),  # the allowed mask, same regime
+        )
+        for lo, hi in chunks:
+            yield from self._sweep_chunk(
+                csr, weights, perts,
+                edge_list[lo:hi], children[lo:hi],
+                hop0, pert0, tin, tout, preorder, state,
+            )
+
+    def _sweep_chunk(
+        self,
+        csr,
+        weights,
+        perts: np.ndarray,
+        eids: List[EdgeId],
+        children: List[Vertex],
+        hop0: np.ndarray,
+        pert0: np.ndarray,
+        tin: np.ndarray,
+        tout: np.ndarray,
+        preorder: np.ndarray,
+        state,
+    ) -> Iterator[ReplacementSweepItem]:
+        """One stacked chunk of subtree recomputes (layer = failed edge)."""
+        n = csr.num_vertices
+        B = len(eids)
+        children_np = np.asarray(children, dtype=np.int64)
+        tin_c = tin[children_np]
+        tout_c = tout[children_np]
+        sizes = tout_c - tin_c
+        subs = np.concatenate(
+            [preorder[tin_c[b] : tout_c[b]] for b in range(B)]
+        )
+        batch_of_sub = np.repeat(np.arange(B, dtype=np.int64), sizes)
+        touched = batch_of_sub * n + subs
+        allowed_ok = state[5][: B * n]
+        allowed_ok[touched] = True
+
+        # Crossing-edge seeds, enumerated vectorized: one neighbor stream
+        # over all chunk subtrees replaces the per-edge adjacency() loops
+        # (and the per-seed big-int arithmetic) of the reference.
+        srcs, nbrs, eids2 = expand_frontier(csr, subs)
+        counts = csr.indptr[subs + 1] - csr.indptr[subs]
+        batch_he = np.repeat(batch_of_sub, counts)
+        banned = np.asarray(eids, dtype=np.int64)
+        ta = tin[nbrs]
+        keep = eids2 != banned[batch_he]
+        keep &= hop0[nbrs] >= 0  # outer endpoint reachable
+        keep &= ~((ta >= tin_c[batch_he]) & (ta < tout_c[batch_he]))
+        srcs, nbrs, eids2, batch_he = (
+            srcs[keep], nbrs[keep], eids2[keep], batch_he[keep],
+        )
+        sa = SeedArrays(
+            hop=hop0[nbrs] + 1,
+            pert=pert0[nbrs] + perts[eids2],
+            vertex=batch_he * n + srcs,
+            parent=nbrs,  # local outer endpoints; unstack_layer maps back
+            parent_eid=eids2,
+        )
+        # The failed edge needs no per-layer ban: its outer endpoint is
+        # outside the allowed subtree, so allowed_ok already blocks it.
+        views = tuple(buf[: B * n] for buf in state[:5])
+        settled, hop, pert, parent, parent_eid = weighted_levels(
+            csr,
+            perts,
+            sa,
+            allowed_ok=allowed_ok,
+            raise_on_tie=True,
+            scheme=weights.scheme,
+            num_vertices=B * n,
+            expand=stacked_expander(csr),
+            state=views,
+            layer_width=n,
+        )
+        shift = weights.shift
+        for b in range(B):
+            off = b * n
+            sub = preorder[tin_c[b] : tout_c[b]]
+            idx = sub + off
+            dist: Dict[Vertex, Optional[int]] = {}
+            parent_d: Dict[Vertex, Vertex] = {}
+            parent_eid_d: Dict[Vertex, EdgeId] = {}
+            for v, reached, hh, pp, par, pe in zip(
+                sub.tolist(), settled[idx].tolist(), hop[idx].tolist(),
+                pert[idx].tolist(), parent[idx].tolist(),
+                parent_eid[idx].tolist(),
+            ):
+                if reached:
+                    dist[v] = (hh << shift) + pp
+                    parent_d[v] = par - off if par >= off else par
+                    parent_eid_d[v] = pe
+                else:
+                    dist[v] = None
+            yield (int(eids[b]), int(children[b]), dist, parent_d, parent_eid_d)
+        # Restore the shared buffers: every write this chunk made (seeds,
+        # settles, relaxation labels, the allowed mask) lives at the
+        # subtree positions, so resetting exactly those leaves the state
+        # pristine for the next chunk.
+        settled[touched] = False
+        hop[touched] = -1
+        allowed_ok[touched] = False

@@ -1,28 +1,31 @@
-"""Process-sharded failure sweeps: the ROADMAP's cross-process engine.
+"""Process-sharded sweeps: the ROADMAP's cross-process engine.
 
-The all-single-edge-failures sweep is embarrassingly parallel over the
-requested edge ids, so :class:`ShardedEngine` wraps any single-process
-engine and fans :meth:`failure_sweep` batches out over worker processes;
-every other primitive delegates to the wrapped engine unchanged.  The
-sweep stays **bit-identical** to the base engine by construction: shards
-are contiguous slices of the request, each shard is computed by the base
-engine itself, and vectors are yielded back in request order.
+The all-single-edge-failures sweep - unweighted ``failure_sweep`` and
+its weighted analogue ``weighted_failure_sweep`` alike - is
+embarrassingly parallel over the requested edge ids, so
+:class:`ShardedEngine` wraps any single-process engine and fans both
+sweeps out over worker processes; every other primitive (including the
+batched detour traversals, whose per-level amortization lives inside one
+process) delegates to the wrapped engine unchanged.  The sweeps stay
+**bit-identical** to the base engine by construction: shards are
+contiguous slices of the request, each shard is computed by the base
+engine itself, and items are yielded back in request order.
 
 Sharding only pays when each worker amortizes its pickled copy of the
-graph plus its own base BFS over many failures, so small sweeps (fewer
-than ``min_batch`` edges per prospective worker) and sweeps already
-running inside a harness pool worker (``REPRO_IN_WORKER``) degrade to
-the base engine in-process.  The verification oracle auto-upgrades to
-this engine for graphs above ``REPRO_SHARD_THRESHOLD`` edges (see
-:mod:`repro.core.verify`).
+graph (plus, for the weighted sweep, the tree and weights) over many
+failures, so small sweeps (fewer than ``min_batch`` edges per
+prospective worker) and sweeps already running inside a harness pool
+worker (``REPRO_IN_WORKER``) degrade to the base engine in-process.  The
+verification oracle auto-upgrades to this engine for graphs above
+``REPRO_SHARD_THRESHOLD`` edges (see :mod:`repro.core.verify`).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set
+from typing import Callable, Iterator, List, Optional, Sequence, Set
 
 from repro._types import EdgeId, Vertex
-from repro.engine.base import SweepHandle, TraversalEngine
+from repro.engine.base import ReplacementSweepItem, SweepHandle, TraversalEngine
 from repro.graphs.graph import Graph
 
 __all__ = ["ShardedEngine", "SHARD_MIN_BATCH_ENV_VAR"]
@@ -47,6 +50,20 @@ def _sweep_shard(
     return list(
         engine.failure_sweep(graph, source, eids, allowed_edges=allowed_edges)
     )
+
+
+def _weighted_sweep_shard(
+    graph: Graph,
+    weights,
+    tree,
+    eids: List[EdgeId],
+    engine_name: str,
+) -> List[ReplacementSweepItem]:
+    """Worker body: one contiguous slice of the weighted failure sweep."""
+    from repro.engine.registry import get_engine
+
+    engine = get_engine(engine_name)
+    return list(engine.weighted_failure_sweep(graph, weights, tree, eids=eids))
 
 
 class ShardedEngine(TraversalEngine):
@@ -98,8 +115,28 @@ class ShardedEngine(TraversalEngine):
     def seeded_shortest_paths(self, graph, weights, seeds, **kwargs):
         return self.base_engine().seeded_shortest_paths(graph, weights, seeds, **kwargs)
 
+    def batched_shortest_paths(
+        self, graph, weights, sources, banned_vertices_per_source=None, **kwargs
+    ):
+        return self.base_engine().batched_shortest_paths(
+            graph, weights, sources, banned_vertices_per_source, **kwargs
+        )
+
+    def batched_seeded_shortest_paths(self, graph, weights, batches, **kwargs):
+        return self.base_engine().batched_seeded_shortest_paths(
+            graph, weights, batches, **kwargs
+        )
+
     @property
     def weighted_backend(self) -> str:
+        return f"delegates to {self.base_engine().name!r}"
+
+    @property
+    def replacement_backend(self) -> str:
+        return f"process-sharded weighted sweep over {self.base_engine().name!r}"
+
+    @property
+    def detour_backend(self) -> str:
         return f"delegates to {self.base_engine().name!r}"
 
     def halved(self) -> "ShardedEngine":
@@ -167,36 +204,66 @@ class ShardedEngine(TraversalEngine):
                 graph, source, eid_list, allowed_edges=allowed_edges
             )
             return
-        yield from self._sharded_sweep(
-            base.name, graph, source, eid_list, allowed_edges, workers,
-            self._effective_min_batch(),
+        yield from self._stream_shards(
+            eid_list, workers, self._effective_min_batch(),
+            lambda pool, shard: pool.submit(
+                _sweep_shard, graph, source, shard, allowed_edges, base.name
+            ),
         )
 
-    def _sharded_sweep(
+    def weighted_failure_sweep(
         self,
-        base_name: str,
         graph: Graph,
-        source: Vertex,
-        eid_list: List[EdgeId],
-        allowed_edges: Optional[Set[EdgeId]],
+        weights,
+        tree,
+        eids: Optional[Sequence[EdgeId]] = None,
+    ) -> Iterator[ReplacementSweepItem]:
+        """Replacement data per failed tree edge, sharded over processes.
+
+        Contiguous slices of the tree edges go to workers running the
+        base engine's ``weighted_failure_sweep``; items come back in
+        request order, so output is bit-identical to the base engine's
+        own sweep.  Each worker re-pickles the graph, weights, and tree
+        - the same fixed cost ``_plan``'s economics already assume.
+        """
+        base = self.base_engine()
+        edge_list = list(eids) if eids is not None else tree.tree_edges()
+        workers = self._plan(len(edge_list))
+        if workers <= 1:
+            yield from base.weighted_failure_sweep(
+                graph, weights, tree, eids=edge_list
+            )
+            return
+        yield from self._stream_shards(
+            edge_list, workers, self._effective_min_batch(),
+            lambda pool, shard: pool.submit(
+                _weighted_sweep_shard, graph, weights, tree, shard, base.name
+            ),
+        )
+
+    def _stream_shards(
+        self,
+        items: List,
         workers: int,
         min_batch: int,
-    ) -> Iterator[Sequence[int]]:
+        submit: Callable,
+    ) -> Iterator:
+        """Shard ``items`` contiguously and stream worker results in order."""
         from concurrent.futures import ProcessPoolExecutor
 
-        # Shards never drop below min_batch edges (each one re-pickles
-        # the graph and recomputes a base BFS — the fixed cost _plan's
-        # economics assume); beyond that, up to 4 shards per worker
-        # keeps the pool busy through the tail.
+        # Shards never drop below min_batch items (each one re-pickles
+        # the inputs and recomputes its own base state — the fixed cost
+        # _plan's economics assume); beyond that, up to 4 shards per
+        # worker keeps the pool busy through the tail.
         num_shards = min(
-            workers * 4, max(workers, len(eid_list) // max(1, min_batch))
+            workers * 4, max(workers, len(items) // max(1, min_batch))
         )
-        num_shards = max(1, min(num_shards, len(eid_list)))
+        num_shards = max(1, min(num_shards, len(items)))
         bounds = [
-            (len(eid_list) * i) // num_shards for i in range(num_shards + 1)
+            (len(items) * i) // num_shards for i in range(num_shards + 1)
         ]
         shards = [
-            eid_list[bounds[i] : bounds[i + 1]]
+            items[bounds[i] : bounds[i + 1]]
             for i in range(num_shards)
             if bounds[i] < bounds[i + 1]
         ]
@@ -207,7 +274,7 @@ class ShardedEngine(TraversalEngine):
         pool = ProcessPoolExecutor(max_workers=workers)
         # Bounded submission window: at most workers + 2 shards are
         # in flight or completed-but-undrained at once, so parent
-        # memory stays O(window * shard vectors) no matter how much
+        # memory stays O(window * shard results) no matter how much
         # faster the pool produces than the caller consumes.
         window = workers + 2
         pending = []
@@ -215,15 +282,10 @@ class ShardedEngine(TraversalEngine):
         try:
             while next_shard < len(shards) or pending:
                 while next_shard < len(shards) and len(pending) < window:
-                    pending.append(
-                        pool.submit(
-                            _sweep_shard, graph, source,
-                            shards[next_shard], allowed_edges, base_name,
-                        )
-                    )
+                    pending.append(submit(pool, shards[next_shard]))
                     next_shard += 1
                 future = pending.pop(0)  # request order
-                for vector in future.result():
-                    yield vector
+                for item in future.result():
+                    yield item
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -33,11 +33,29 @@ seed can overflow either the perturbation field (``2**shift``, which
 would carry into the hop bits of the reference's big-int sum) or
 ``int64``.  Everything else - the exact scheme in particular - falls
 back to the big-int reference Dijkstra.
+
+Stacked (batched) traversals
+----------------------------
+Many *independent* weighted traversals of the same graph (the Pcons
+detour Dijkstras, the per-tree-edge replacement recomputes of the
+weighted failure sweep) can share every per-level numpy invocation:
+batch ``b`` runs in its own *layer* of a virtual ``B * n`` vertex space
+(vertex ``v`` of batch ``b`` is the global id ``b * n + v``), and a
+:func:`stacked_expander` maps frontier expansion back onto the one
+shared CSR view.  Layers are vertex-disjoint, relaxations never cross
+them, and within a layer the global settle order ``(pert, b * n + v)``
+coincides with the single-run order ``(pert, v)`` - so each layer's
+result is bit-identical to running that batch alone.  Seeds for stacked
+runs arrive as :class:`SeedArrays` and go through a vectorized intake
+(same running-min/tie semantics as the sequential seed loop; groups with
+duplicated ``(hop, pert)`` labels are replayed through the reference
+loop in arrival order, exactly like relaxation candidates).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,13 +65,104 @@ from repro.errors import GraphError, TieBreakError
 from repro.spt.result import ShortestPathResult
 from repro.spt.weights import RANDOM, WeightAssignment
 
-__all__ = ["weighted_plan", "weighted_levels", "assemble_result", "decompose_seeds"]
+__all__ = [
+    "weighted_plan",
+    "weighted_levels",
+    "assemble_result",
+    "decompose_seeds",
+    "SeedArrays",
+    "stacked_expander",
+    "unstack_layer",
+]
 
 #: Seed tuple consumed by :func:`weighted_levels`:
 #: ``(hop, pert, vertex, parent, parent_eid)``.
 Seed = Tuple[int, int, int, int, int]
 
 _INT64_LIMIT = 2**63
+
+
+@dataclass(frozen=True)
+class SeedArrays:
+    """Column-wise seeds for :func:`weighted_levels` (int64 arrays).
+
+    ``vertex`` holds *global* ids (already layer-offset for stacked
+    runs); ``parent`` may hold local ids - callers map results back with
+    :func:`unstack_layer`, which reduces any non-negative parent modulo
+    the layer width.  Arrival order (the reference's running-min order)
+    is the array order.
+    """
+
+    hop: np.ndarray
+    pert: np.ndarray
+    vertex: np.ndarray
+    parent: np.ndarray
+    parent_eid: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.vertex.size)
+
+
+def stacked_expander(
+    csr: CSRAdjacency,
+    *,
+    banned_eid_per_batch: Optional[np.ndarray] = None,
+) -> Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Frontier expansion over ``B`` stacked layers of one CSR view.
+
+    Global id ``b * n + v`` expands to ``v``'s neighbors shifted into
+    layer ``b``; edge ids stay the base graph's (perturbation lookups
+    are shared).  ``banned_eid_per_batch[b]`` (optional) drops that one
+    edge from layer ``b``'s expansions - the stacked equivalent of the
+    reference's ``banned_edge`` filter.
+    """
+    n = csr.num_vertices
+    indptr, indices, edge_ids = csr.indptr, csr.indices, csr.edge_ids
+
+    def expand(frontier: np.ndarray):
+        local = frontier % n
+        starts = indptr[local]
+        counts = indptr[local + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        cum = np.cumsum(counts)
+        flat = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - (cum - counts), counts
+        )
+        srcs = np.repeat(frontier, counts)
+        nbrs = indices[flat] + np.repeat(frontier - local, counts)
+        eids = edge_ids[flat]
+        if banned_eid_per_batch is not None:
+            keep = eids != banned_eid_per_batch[srcs // n]
+            if not keep.all():
+                srcs, nbrs, eids = srcs[keep], nbrs[keep], eids[keep]
+        return srcs, nbrs, eids
+
+    return expand
+
+
+def unstack_layer(
+    n: int,
+    batch: int,
+    settled: np.ndarray,
+    hop: np.ndarray,
+    pert: np.ndarray,
+    parent: np.ndarray,
+    parent_eid: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Slice one layer out of a stacked result, localizing parent ids.
+
+    Relaxation writes *global* parents; seed parents may already be
+    local.  Both reduce to the local id modulo ``n`` (layer offsets are
+    multiples of ``n``); ``-1`` stays ``-1``.
+    """
+    sl = slice(batch * n, (batch + 1) * n)
+    par = parent[sl]
+    par = np.where(par >= 0, par % n, par)
+    return settled[sl], hop[sl], pert[sl], par, parent_eid[sl]
 
 
 def weighted_plan(
@@ -92,13 +201,17 @@ def decompose_seeds(
 def weighted_levels(
     csr: CSRAdjacency,
     pert_edge: np.ndarray,
-    seeds: List[Seed],
+    seeds: Union[List[Seed], SeedArrays],
     *,
     edge_ok: Optional[np.ndarray] = None,
     vertex_ok: Optional[np.ndarray] = None,
     allowed_ok: Optional[np.ndarray] = None,
     raise_on_tie: bool = True,
     scheme: str = RANDOM,
+    num_vertices: Optional[int] = None,
+    expand: Optional[Callable] = None,
+    state: Optional[Tuple[np.ndarray, ...]] = None,
+    layer_width: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Level-synchronous weighted traversal over the CSR view.
 
@@ -107,52 +220,82 @@ def weighted_levels(
     ``(hop, pert)``.  ``allowed_ok`` (when given) restricts settling to
     a vertex subset and makes the seed loop validate membership, exactly
     like the reference's ``allowed_vertices``.
+
+    Stacked runs pass ``num_vertices = B * n`` with a
+    :func:`stacked_expander` and :class:`SeedArrays` seeds; all masks
+    are then sized ``B * n``.  ``state`` (optional) supplies the five
+    state arrays preallocated by the caller - ``settled`` all-False and
+    ``hop`` all ``-1``, the other three arbitrary (every read of them is
+    gated on a write made during this run).  Restricted sweeps reuse one
+    buffer across chunks this way, resetting only touched positions,
+    instead of paying an O(B * n) allocation per chunk.
     """
-    n = csr.num_vertices
-    hop_t = np.full(n, -1, dtype=np.int64)
-    pert_t = np.zeros(n, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    parent_eid = np.full(n, -1, dtype=np.int64)
-    settled = np.zeros(n, dtype=bool)
+    n = csr.num_vertices if num_vertices is None else num_vertices
+    if expand is None:
+        def expand(frontier: np.ndarray):
+            return expand_frontier(csr, frontier)
+    if state is not None:
+        settled, hop_t, pert_t, parent, parent_eid = state
+    else:
+        hop_t = np.full(n, -1, dtype=np.int64)
+        pert_t = np.zeros(n, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        parent_eid = np.full(n, -1, dtype=np.int64)
+        settled = np.zeros(n, dtype=bool)
 
     # Pending labels bucketed by hop level; stale entries (labels later
     # improved to a lower level, or already settled) are filtered out
     # when their bucket is drained, so duplicates are harmless.
     buckets: dict = {}
 
-    # Seed loop: sequential, replicating the reference's running-min and
-    # tie semantics entry by entry.
-    for h0, p0, v0, par0, pe0 in seeds:
-        if allowed_ok is not None and not (0 <= v0 < n and allowed_ok[v0]):
-            raise GraphError(f"seed vertex {v0} outside the allowed set")
-        cur_h = int(hop_t[v0])
-        if cur_h == -1 or (h0, p0) < (cur_h, int(pert_t[v0])):
-            hop_t[v0] = h0
-            pert_t[v0] = p0
-            parent[v0] = par0
-            parent_eid[v0] = pe0
-            buckets.setdefault(h0, []).append(np.asarray([v0], dtype=np.int64))
-        elif (h0, p0) == (cur_h, int(pert_t[v0])) and pe0 != parent_eid[v0]:
-            if raise_on_tie:
-                raise TieBreakError(
-                    f"equal-weight seeds for vertex {v0} (scheme={scheme})"
-                )
-    seed_vertices = np.asarray(sorted({s[2] for s in seeds}), dtype=np.int64)
+    if isinstance(seeds, SeedArrays):
+        seed_vertices = _intake_seed_arrays(
+            seeds, n, allowed_ok, hop_t, pert_t, parent, parent_eid,
+            buckets, raise_on_tie, scheme, layer_width,
+        )
+    else:
+        # Seed loop: sequential, replicating the reference's running-min
+        # and tie semantics entry by entry.
+        for h0, p0, v0, par0, pe0 in seeds:
+            if allowed_ok is not None and not (0 <= v0 < n and allowed_ok[v0]):
+                raise GraphError(f"seed vertex {v0} outside the allowed set")
+            cur_h = int(hop_t[v0])
+            if cur_h == -1 or (h0, p0) < (cur_h, int(pert_t[v0])):
+                hop_t[v0] = h0
+                pert_t[v0] = p0
+                parent[v0] = par0
+                parent_eid[v0] = pe0
+                buckets.setdefault(h0, []).append(np.asarray([v0], dtype=np.int64))
+            elif (h0, p0) == (cur_h, int(pert_t[v0])) and pe0 != parent_eid[v0]:
+                if raise_on_tie:
+                    raise TieBreakError(
+                        f"equal-weight seeds for vertex {v0} (scheme={scheme})"
+                    )
+        seed_vertices = np.asarray(sorted({s[2] for s in seeds}), dtype=np.int64)
 
     while buckets:
         h = min(buckets)
-        cand_vertices = np.concatenate(buckets.pop(h))
-        frontier = np.unique(cand_vertices)
+        entries = buckets.pop(h)
+        if len(entries) == 1:
+            # Every pusher appends unique, ascending ids (level winners
+            # are group targets of a sorted stream; seed buckets come
+            # from np.unique) - the common single-entry bucket skips the
+            # hash-based dedup entirely.
+            frontier = entries[0]
+        else:
+            frontier = np.unique(np.concatenate(entries))
         frontier = frontier[~settled[frontier] & (hop_t[frontier] == h)]
         if frontier.size == 0:
             continue
         # Settle order = the reference heap's pop order: (pert, vertex).
-        # unique() yields ascending ids; a stable sort by pert keeps id
-        # order inside equal perturbations.
+        # The bucket is ascending by id; a stable sort by pert keeps id
+        # order inside equal perturbations.  (Stacked layers: within a
+        # layer, global-id order equals local-id order, so each layer
+        # settles exactly as its single run would.)
         frontier = frontier[np.argsort(pert_t[frontier], kind="stable")]
         settled[frontier] = True
 
-        srcs, nbrs, eids = expand_frontier(csr, frontier)
+        srcs, nbrs, eids = expand(frontier)
         keep = ~settled[nbrs]
         if edge_ok is not None:
             keep &= edge_ok[eids]
@@ -176,7 +319,8 @@ def weighted_levels(
             init_targets = np.unique(nbrs[hop_t[nbrs] == h + 1])
         else:
             init_targets = np.empty(0, dtype=np.int64)
-        if init_targets.size:
+        init_count = int(init_targets.size)
+        if init_count:
             t_all = np.concatenate([init_targets, nbrs])
             c_all = np.concatenate([pert_t[init_targets], cand])
             s_all = np.concatenate([parent[init_targets], srcs])
@@ -184,78 +328,57 @@ def weighted_levels(
         else:
             t_all, c_all, s_all, e_all = nbrs, cand, srcs, eids
 
-        # Group by target, preserving arrival order within each group
-        # (inits were prepended, so they stay first).
-        order = np.argsort(t_all, kind="stable")
-        t_s, c_s, s_s, e_s = t_all[order], c_all[order], s_all[order], e_all[order]
+        # One stable sort by (target, candidate) decides everything:
+        # groups are contiguous, each group's first element is its
+        # winner (minimum value, earliest arrival among equals - inits
+        # precede stream candidates pre-sort, so they win exact ties
+        # like the reference's running label does), and a duplicated
+        # (target, value) pair - the only way the reference's
+        # order-dependent equality event can occur - is an adjacent
+        # equality.  The rare duplicated groups are replayed through the
+        # reference loop in arrival order.
+        order = np.lexsort((c_all, t_all))
+        t_s, c_s = t_all[order], c_all[order]
         change = np.empty(t_s.size, dtype=bool)
         change[0] = True
         np.not_equal(t_s[1:], t_s[:-1], out=change[1:])
         starts = np.flatnonzero(change)
-        counts = np.diff(starts, append=t_s.size)
         grp_target = t_s[starts]
+        win = order[starts]
+        dup_adj = ~change[1:] & (c_s[1:] == c_s[:-1])
 
-        gmin = np.minimum.reduceat(c_s, starts)
-        is_min = c_s == np.repeat(gmin, counts)
-        pos = np.where(is_min, np.arange(t_s.size), t_s.size)
-        win = np.minimum.reduceat(pos, starts)
-
-        # Any duplicated perturbation inside a group is the only way an
-        # equality event can occur; those rare groups are replayed
-        # through the reference loop below, everything else is decided
-        # by the vectorized argmin.
-        if np.count_nonzero(is_min) > starts.size:
-            dup_candidates = True  # a group's minimum is attained twice
-        else:
-            # equal values above a group's running minimum also tie in
-            # the reference; detect any duplicated (target, value) pair
-            ord2 = np.lexsort((c_s, t_s))
-            cc = c_s[ord2]
-            tt = t_s[ord2]
-            dup_candidates = bool(
-                ((tt[1:] == tt[:-1]) & (cc[1:] == cc[:-1])).any()
-            )
-
-        if dup_candidates:
-            ord2 = np.lexsort((c_s, t_s))
-            tt, cc = t_s[ord2], c_s[ord2]
-            dup_adj = (tt[1:] == tt[:-1]) & (cc[1:] == cc[:-1])
+        if dup_adj.any():
             dup_flag = np.zeros(n, dtype=bool)
-            dup_flag[tt[1:][dup_adj]] = True
+            dup_flag[t_s[1:][dup_adj]] = True
             grp_dup = dup_flag[grp_target]
-            has_init = (
-                hop_t[grp_target] == h + 1
-                if init_targets.size
-                else np.zeros(starts.size, dtype=bool)
-            )
-            winner_is_init = (win == starts) & has_init
+            winner_is_init = win < init_count
             upd = ~grp_dup & ~winner_is_init
             tg, wi = grp_target[upd], win[upd]
             hop_t[tg] = h + 1
-            pert_t[tg] = c_s[wi]
-            parent[tg] = s_s[wi]
-            parent_eid[tg] = e_s[wi]
+            pert_t[tg] = c_all[wi]
+            parent[tg] = s_all[wi]
+            parent_eid[tg] = e_all[wi]
+            counts = np.diff(starts, append=t_s.size)
             _replay_duplicates(
-                np.flatnonzero(grp_dup), starts, counts, has_init,
-                t_s, c_s, s_s, e_s, h, hop_t, pert_t, parent, parent_eid,
-                raise_on_tie, scheme,
+                np.flatnonzero(grp_dup), starts, counts, order, init_count,
+                c_all, s_all, e_all, grp_target, h,
+                hop_t, pert_t, parent, parent_eid, raise_on_tie, scheme,
+                layer_width,
             )
             pushed = grp_target
-        elif init_targets.size:
-            has_init = hop_t[grp_target] == h + 1
-            winner_is_init = (win == starts) & has_init
-            upd = ~winner_is_init
+        elif init_count:
+            upd = win >= init_count  # the pre-existing label lost
             tg, wi = grp_target[upd], win[upd]
             hop_t[tg] = h + 1
-            pert_t[tg] = c_s[wi]
-            parent[tg] = s_s[wi]
-            parent_eid[tg] = e_s[wi]
+            pert_t[tg] = c_all[wi]
+            parent[tg] = s_all[wi]
+            parent_eid[tg] = e_all[wi]
             pushed = tg
         else:
             hop_t[grp_target] = h + 1
-            pert_t[grp_target] = c_s[win]
-            parent[grp_target] = s_s[win]
-            parent_eid[grp_target] = e_s[win]
+            pert_t[grp_target] = c_all[win]
+            parent[grp_target] = s_all[win]
+            parent_eid[grp_target] = e_all[win]
             pushed = grp_target
         if pushed.size:
             buckets.setdefault(h + 1, []).append(pushed)
@@ -263,15 +386,153 @@ def weighted_levels(
     return settled, hop_t, pert_t, parent, parent_eid
 
 
+def _intake_seed_arrays(
+    sa: SeedArrays,
+    n: int,
+    allowed_ok: Optional[np.ndarray],
+    hop_t: np.ndarray,
+    pert_t: np.ndarray,
+    parent: np.ndarray,
+    parent_eid: np.ndarray,
+    buckets: dict,
+    raise_on_tie: bool,
+    scheme: str,
+    layer_width: Optional[int] = None,
+) -> np.ndarray:
+    """Vectorized seed intake, equivalent to the sequential seed loop.
+
+    Per seed vertex the final label is the lexicographic ``(hop, pert)``
+    minimum with the *first arrival* among equal minima as parent - an
+    equality against the running minimum with a different entry edge is
+    the reference's seed tie.  Ties require a duplicated ``(hop, pert)``
+    label on the same vertex, so only those (rare) vertices replay the
+    sequential loop; everything else is one lexsort + first-per-group.
+    """
+    vs = sa.vertex
+    if allowed_ok is not None and vs.size:
+        ok = (vs >= 0) & (vs < n)
+        ok &= allowed_ok[np.where(ok, vs, 0)]
+        if not ok.all():
+            # An invalid seed exists, so this intake ends in an
+            # exception either way - but *which* one must match the
+            # reference, whose sequential loop can hit a seed tie
+            # before ever reaching the invalid entry.  Replay all
+            # seeds in arrival order with the reference semantics.
+            _replay_invalid_seeds(
+                sa, n, allowed_ok, raise_on_tie, scheme, layer_width
+            )
+    if vs.size == 0:
+        return np.empty(0, dtype=np.int64)
+
+    order = np.lexsort((np.arange(vs.size), sa.pert, sa.hop, vs))
+    v_s, h_s, p_s = vs[order], sa.hop[order], sa.pert[order]
+    first = np.empty(v_s.size, dtype=bool)
+    first[0] = True
+    np.not_equal(v_s[1:], v_s[:-1], out=first[1:])
+    dup_adj = (~first[1:]) & (h_s[1:] == h_s[:-1]) & (p_s[1:] == p_s[:-1])
+    if dup_adj.any():
+        dup_flag = np.zeros(n, dtype=bool)
+        dup_flag[v_s[1:][dup_adj]] = True
+        # Replay duplicated vertices' seeds in arrival order.
+        for j in np.flatnonzero(dup_flag[vs]).tolist():
+            v0 = int(vs[j])
+            h0, p0 = int(sa.hop[j]), int(sa.pert[j])
+            cur_h = int(hop_t[v0])
+            if cur_h == -1 or (h0, p0) < (cur_h, int(pert_t[v0])):
+                hop_t[v0] = h0
+                pert_t[v0] = p0
+                parent[v0] = sa.parent[j]
+                parent_eid[v0] = sa.parent_eid[j]
+            elif (h0, p0) == (cur_h, int(pert_t[v0])) and int(
+                sa.parent_eid[j]
+            ) != int(parent_eid[v0]):
+                if raise_on_tie:
+                    raise TieBreakError(
+                        f"equal-weight seeds for vertex "
+                        f"{_display_id(v0, n, layer_width)} (scheme={scheme})"
+                    )
+        keep = first & ~dup_flag[v_s]
+    else:
+        keep = first
+    wi = order[keep]
+    tg = vs[wi]
+    hop_t[tg] = sa.hop[wi]
+    pert_t[tg] = sa.pert[wi]
+    parent[tg] = sa.parent[wi]
+    parent_eid[tg] = sa.parent_eid[wi]
+
+    seed_vertices = np.unique(vs)
+    final_h = hop_t[seed_vertices]
+    for h in np.unique(final_h).tolist():
+        buckets.setdefault(h, []).append(seed_vertices[final_h == h])
+    return seed_vertices
+
+
+def _display_id(v0: int, n: int, layer_width: Optional[int]) -> int:
+    """The caller-facing vertex id behind a stacked seed id.
+
+    In-range ids localize modulo the layer width; ids past the sentinel
+    boundary carry the caller's original out-of-range id (see the
+    stacked seeded path in :mod:`repro.engine.csr_engine`); everything
+    else (negative ids, unstacked runs) is already caller-facing.
+    """
+    if layer_width is None:
+        return v0
+    if v0 > n:
+        return v0 - n - 1  # out-of-range sentinel: n + 1 + original
+    if v0 < 0:
+        return v0
+    return v0 % layer_width
+
+
+def _replay_invalid_seeds(
+    sa: SeedArrays,
+    n: int,
+    allowed_ok: np.ndarray,
+    raise_on_tie: bool,
+    scheme: str,
+    layer_width: Optional[int] = None,
+) -> None:
+    """Reference seed loop for streams containing an invalid seed.
+
+    Always raises: either the reference's GraphError at the first seed
+    outside the allowed set, or a TieBreakError that the sequential
+    loop would have hit first.
+    """
+    best: dict = {}
+    for h0, p0, v0, pe0 in zip(
+        sa.hop.tolist(), sa.pert.tolist(), sa.vertex.tolist(),
+        sa.parent_eid.tolist(),
+    ):
+        if not (0 <= v0 < n and allowed_ok[v0]):
+            raise GraphError(
+                f"seed vertex {_display_id(v0, n, layer_width)} "
+                "outside the allowed set"
+            )
+        cur = best.get(v0)
+        if cur is None or (h0, p0) < cur[:2]:
+            best[v0] = (h0, p0, pe0)
+        elif (h0, p0) == cur[:2] and pe0 != cur[2]:
+            if raise_on_tie:
+                raise TieBreakError(
+                    f"equal-weight seeds for vertex "
+                    f"{_display_id(v0, n, layer_width)} (scheme={scheme})"
+                )
+    raise AssertionError(
+        "unreachable: _replay_invalid_seeds requires an invalid seed"
+    )  # pragma: no cover
+
+
 def _replay_duplicates(
     groups: np.ndarray,
     starts: np.ndarray,
     counts: np.ndarray,
-    has_init: np.ndarray,
-    t_s: np.ndarray,
-    c_s: np.ndarray,
-    s_s: np.ndarray,
-    e_s: np.ndarray,
+    order: np.ndarray,
+    init_count: int,
+    c_all: np.ndarray,
+    s_all: np.ndarray,
+    e_all: np.ndarray,
+    grp_target: np.ndarray,
     h: int,
     hop_t: np.ndarray,
     pert_t: np.ndarray,
@@ -279,31 +540,36 @@ def _replay_duplicates(
     parent_eid: np.ndarray,
     raise_on_tie: bool,
     scheme: str,
+    layer_width: Optional[int] = None,
 ) -> None:
     """Reference relaxation loop for targets with duplicated candidates.
 
-    Replays candidates in arrival order: strict improvement moves the
-    running minimum, equality against it with a different edge is the
+    Replays candidates in arrival order (recovered by sorting the
+    group's slice of the sort permutation - pre-sort position *is*
+    arrival order, inits first): strict improvement moves the running
+    minimum, equality against it with a different edge is the
     reference's tie (raised in level order, matching the settle order
     the reference would have raised in).
     """
     for g in groups.tolist():
         lo = int(starts[g])
-        hi = lo + int(counts[g])
-        target = int(t_s[lo])
+        target = int(grp_target[g])
+        arrivals = np.sort(order[lo : lo + int(counts[g])])
         run_c = run_s = run_e = None
         win_j = -1
-        for j in range(lo, hi):
-            c = int(c_s[j])
+        for j in arrivals.tolist():
+            c = int(c_all[j])
             if run_c is None or c < run_c:
-                run_c, run_s, run_e = c, int(s_s[j]), int(e_s[j])
+                run_c, run_s, run_e = c, int(s_all[j]), int(e_all[j])
                 win_j = j
-            elif c == run_c and int(e_s[j]) != run_e:
+            elif c == run_c and int(e_all[j]) != run_e:
                 if raise_on_tie:
                     raise TieBreakError(
-                        f"equal-weight paths to vertex {target} (scheme={scheme})"
+                        f"equal-weight paths to vertex "
+                        f"{target if layer_width is None else target % layer_width}"
+                        f" (scheme={scheme})"
                     )
-        if has_init[g] and win_j == lo:
+        if win_j == int(arrivals[0]) and win_j < init_count:
             continue  # the pre-existing label survives unchanged
         hop_t[target] = h + 1
         pert_t[target] = run_c

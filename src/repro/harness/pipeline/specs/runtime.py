@@ -124,10 +124,12 @@ def e16_measure(payload: Dict[str, Any]) -> Dict[str, Any]:
             and report.violations == reference.violations
             and miss == ref_unprotected
         )
+        engine = get_engine(eng_name)
         rows.append(
             [
                 name, graph.num_vertices, graph.num_edges, eng_name,
-                get_engine(eng_name).weighted_backend, scheme,
+                engine.weighted_backend, engine.replacement_backend,
+                engine.detour_backend, scheme,
                 round(t1 - t0, 4), round(t2 - t1, 4),
                 round(ref_time / max(t1 - t0, 1e-9), 2), parity,
             ]
@@ -145,7 +147,8 @@ E16 = ScenarioSpec(
     title="Traversal engines: python reference vs csr kernels",
     description="traversal engines: python vs csr vs sharded (parity+speed)",
     columns=(
-        "workload", "n", "m", "engine", "weighted", "weight_scheme",
+        "workload", "n", "m", "engine", "weighted", "replacement",
+        "detour_batch", "weight_scheme",
         "t_verify_s", "t_unprotected_s", "speedup_verify", "parity",
     ),
     grid=e16_grid,
@@ -155,6 +158,8 @@ E16 = ScenarioSpec(
         "speedup_verify is relative to the first (python reference) engine",
         "weighted/weight_scheme record each engine's weighted backend and "
         "the scheme the structure was actually built under",
+        "replacement/detour_batch record how each engine runs the weighted "
+        "failure sweep and the batched detour traversals (PR 4)",
         "parity asserts identical VerificationReport + unprotected_edges output",
         "under --jobs > 1 the sharded row times its in-process fallback "
         "(pool workers never nest pools); bench_pipeline.py times real sharding",

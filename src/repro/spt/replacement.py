@@ -9,21 +9,45 @@ subtree).  Total work is ``O(sum over tree edges of |edges touching the
 subtree| * log)``, which is roughly ``O(m * depth(T0))`` instead of the
 naive ``O(n * m)``.
 
-The engine is lazy and memoized: failure data is computed on first use,
-so callers that only probe a few failures stay cheap.
+Two execution paths feed the same memoized cache (PR 4):
+
+* **Lazy probes.**  ``failure(eid)`` computes a single failed edge via a
+  per-call seeded traversal
+  (:func:`repro.engine.base.replacement_failure`), so callers that only
+  probe a few failures stay cheap.
+* **The sweep.**  ``precompute_all()`` - and, automatically, any caller
+  whose lazy probes cross a constant fraction of the tree edges - fills
+  every missing failure through the engine's ``weighted_failure_sweep``,
+  which amortizes one pass over all failures (the csr engine stacks the
+  subtree recomputes into shared per-level kernels; the sharded engine
+  fans them over worker processes).
+
+Both paths are bit-identical by contract - the sweep's reference
+implementation *is* the per-call loop - which
+``tests/test_weighted_parity.py`` enforces property-based.  ``stats()``
+exposes the sweep/lazy/hit counters (surfaced in ``PconsStats``) and
+``clear()`` drops the cache so long-lived runs can bound memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro._types import EdgeId, Vertex
+from repro.engine.base import replacement_failure
 from repro.engine.registry import get_engine
-from repro.errors import GraphError
 from repro.spt.spt_tree import ShortestPathTree
 
-__all__ = ["EdgeFailure", "ReplacementEngine"]
+__all__ = ["EdgeFailure", "ReplacementEngine", "ReplacementStats"]
+
+#: Lazy probes beyond this fraction of the tree edges trigger a sweep of
+#: everything still missing (the caller is evidently going to touch a
+#: constant fraction of the tree, the regime the sweep amortizes).
+_EAGER_FRACTION = 0.25
+
+#: ... but never upgrade before this many probes (tiny trees).
+_EAGER_MIN = 8
 
 
 @dataclass
@@ -43,22 +67,66 @@ class EdgeFailure:
     parent_eid: Dict[Vertex, EdgeId]
 
 
+@dataclass(frozen=True)
+class ReplacementStats:
+    """A point-in-time view of a :class:`ReplacementEngine`'s economics."""
+
+    #: Failed edges currently held in the cache.
+    cached_edges: int
+    #: Total tree edges of the underlying ``T0``.
+    tree_edges: int
+    #: Failures computed one at a time (per-call seeded traversals).
+    lazy_computes: int
+    #: Failures filled by a ``weighted_failure_sweep`` pass.
+    sweep_fills: int
+    #: Cache hits served without recomputing.
+    hits: int
+
+
 class ReplacementEngine:
-    """Lazy per-failed-edge replacement distances over a fixed ``T0``."""
+    """Memoized per-failed-edge replacement distances over a fixed ``T0``.
+
+    Lazy by default; sweep-backed when eager (see the module docstring).
+    """
 
     def __init__(self, tree: ShortestPathTree) -> None:
         self.tree = tree
         self.graph = tree.graph
         self.weights = tree.weights
         self._cache: Dict[EdgeId, EdgeFailure] = {}
+        self._num_tree_edges = tree.num_reachable - 1
+        self._eager_threshold = max(
+            _EAGER_MIN, int(self._num_tree_edges * _EAGER_FRACTION)
+        )
+        self._lazy_computes = 0
+        self._lazy_since_clear = 0
+        self._sweep_fills = 0
+        self._hits = 0
 
     # ------------------------------------------------------------------
     def failure(self, eid: EdgeId) -> EdgeFailure:
         """Failure data for tree edge ``eid`` (memoized)."""
         data = self._cache.get(eid)
-        if data is None:
-            data = self._compute(eid)
-            self._cache[eid] = data
+        if data is not None:
+            self._hits += 1
+            return data
+        if (
+            self._lazy_since_clear >= self._eager_threshold
+            and len(self._cache) < self._num_tree_edges
+        ):
+            # The caller is touching a constant fraction of the tree:
+            # amortize everything still missing in one sweep.  (The
+            # trigger counts probes since the last clear() - a caller
+            # that clears to bound memory must not be handed the whole
+            # cache back on its next probe.)
+            self.precompute_all()
+            data = self._cache.get(eid)
+            if data is not None:
+                return data
+        data = self._compute(eid)
+        self._lazy_computes += 1
+        self._lazy_since_clear += 1
+        self._cache[eid] = data
         return data
 
     def dist_after_failure(self, eid: EdgeId, v: Vertex) -> Optional[int]:
@@ -81,59 +149,51 @@ class ReplacementEngine:
         return None if d is None else self.weights.hops(d)
 
     def precompute_all(self) -> None:
-        """Eagerly compute failure data for every tree edge."""
-        for eid in self.tree.tree_edges():
-            self.failure(eid)
+        """Fill every missing tree-edge failure through the engine sweep."""
+        missing = [
+            eid for eid in self.tree.tree_edges() if eid not in self._cache
+        ]
+        if not missing:
+            return
+        sweep = get_engine().weighted_failure_sweep(
+            self.graph, self.weights, self.tree, eids=missing
+        )
+        for eid, child, dist, parent, parent_eid in sweep:
+            self._cache[eid] = EdgeFailure(
+                eid=eid, child=child, dist=dist,
+                parent=parent, parent_eid=parent_eid,
+            )
+            self._sweep_fills += 1
+
+    def clear(self) -> None:
+        """Drop all cached failure data (cumulative counters survive).
+
+        Long-lived runs (the E11/E12 economics sweeps) can bound memory
+        by clearing between workloads; subsequent probes recompute
+        lazily - the auto-upgrade trigger restarts from zero, so a
+        clear is never immediately undone by a full re-sweep.
+        """
+        self._cache.clear()
+        self._lazy_since_clear = 0
+
+    def stats(self) -> ReplacementStats:
+        """Sweep/lazy/hit counters plus the current cache size."""
+        return ReplacementStats(
+            cached_edges=len(self._cache),
+            tree_edges=self._num_tree_edges,
+            lazy_computes=self._lazy_computes,
+            sweep_fills=self._sweep_fills,
+            hits=self._hits,
+        )
 
     # ------------------------------------------------------------------
     def _compute(self, eid: EdgeId) -> EdgeFailure:
-        tree = self.tree
-        graph = self.graph
-        weights = self.weights
-        child = tree.edge_child(eid)
-
-        sub = tree.subtree_vertices(child)
-        sub_set = set(sub)
-        tin, tout = tree.tin[child], tree.tout[child]
-        tins = tree.tin
-        dist0 = tree.dist
-        w_arr = weights.weights
-
-        # Seeds: for every edge (a, b) crossing into the subtree, the outer
-        # endpoint a keeps dist0[a]; entering through the edge costs W(ab).
-        seeds: List[Tuple[int, Vertex, Vertex, EdgeId]] = []
-        for b in sub:
-            for a, cross_eid in graph.adjacency(b):
-                if cross_eid == eid:
-                    continue
-                ta = tins[a]
-                if tin <= ta < tout and ta != -1:
-                    continue  # internal edge
-                da = dist0[a]
-                if da is None:
-                    continue  # outer endpoint itself unreachable
-                seeds.append((da + w_arr[cross_eid], b, a, cross_eid))
-
-        if seeds:
-            # Dispatched through the engine layer: the csr engine runs
-            # the random scheme on array kernels (falling back to the
-            # big-int reference for exact weights and tiny subtrees).
-            sp = get_engine().seeded_shortest_paths(
-                graph,
-                weights,
-                seeds,
-                allowed_vertices=sub_set,
-                banned_edge=eid,
-            )
-            dist = {v: sp.dist[v] for v in sub}
-            parent = {v: sp.parent[v] for v in sub if sp.dist[v] is not None}
-            parent_eid = {
-                v: sp.parent_eid[v] for v in sub if sp.dist[v] is not None
-            }
-        else:
-            dist = {v: None for v in sub}
-            parent = {}
-            parent_eid = {}
+        # Per-call path, dispatched through the engine layer (the csr
+        # engine runs the random scheme on array kernels, falling back
+        # to the big-int reference for exact weights and tiny subtrees).
+        eid, child, dist, parent, parent_eid = replacement_failure(
+            get_engine(), self.graph, self.weights, self.tree, eid
+        )
         return EdgeFailure(
             eid=eid, child=child, dist=dist, parent=parent, parent_eid=parent_eid
         )

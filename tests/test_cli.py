@@ -43,6 +43,8 @@ class TestEngines:
         out = capsys.readouterr().out
         assert "python" in out and "(default)" in out
         assert "weighted:" in out  # per-engine weighted capability line
+        assert "replacement:" in out  # weighted-failure-sweep backend
+        assert "detours:" in out  # batched multi-source backend
         if "csr" in available_engines():
             assert "csr" in out
 

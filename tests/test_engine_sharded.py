@@ -75,6 +75,47 @@ class TestSweepParity:
         ):
             assert distances_equal(ref, got)
 
+    @pytest.mark.parametrize("base", ["python", "csr"])
+    def test_weighted_failure_sweep_bit_identical(self, instance, base):
+        """The weighted sweep shards like the unweighted one: force real
+        multi-process sharding and compare every replacement item."""
+        from repro.spt.spt_tree import build_spt
+        from repro.spt.weights import make_weights
+
+        graph, _ = instance
+        if base not in available_engines():
+            pytest.skip(f"{base} engine unavailable")
+        weights = make_weights(graph, "random", seed=3)
+        tree = build_spt(graph, weights, 0)
+        forced = ShardedEngine(base=base, max_workers=2, min_batch=1)
+        reference = list(
+            get_engine(base).weighted_failure_sweep(graph, weights, tree)
+        )
+        sharded = list(forced.weighted_failure_sweep(graph, weights, tree))
+        assert reference == sharded
+        assert [item[0] for item in sharded] == tree.tree_edges()
+
+    def test_weighted_sweep_small_requests_stay_in_process(self, instance):
+        """Below min_batch the weighted sweep degrades to the base engine
+        (no pool spin-up for a handful of failures)."""
+        from repro.spt.spt_tree import build_spt
+        from repro.spt.weights import make_weights
+
+        graph, _ = instance
+        weights = make_weights(graph, "random", seed=3)
+        tree = build_spt(graph, weights, 0)
+        eids = tree.tree_edges()[:3]
+        sharded = get_engine("sharded")
+        items = list(
+            sharded.weighted_failure_sweep(graph, weights, tree, eids=eids)
+        )
+        base_items = list(
+            sharded.base_engine().weighted_failure_sweep(
+                graph, weights, tree, eids=eids
+            )
+        )
+        assert items == base_items
+
     def test_small_sweeps_stay_in_process(self, instance):
         # Below min_batch per worker there is nothing to amortize: the
         # plan must resolve to 1 (pure base-engine delegation).

@@ -62,6 +62,89 @@ class TestBasics:
         assert len(engine._cache) == len(tree.tree_edges())
 
 
+class TestSweepAndStats:
+    """The sweep-backed eager mode and the cache economics (PR 4)."""
+
+    def test_sweep_matches_lazy_per_edge(self):
+        """Sweep fills and lazy computes must be bit-identical (here on
+        whatever engine is default; the engine-parity suite covers the
+        rest).  Includes disconnected subtrees via the bridge edges."""
+        g = gnp_random_graph(26, 0.1, seed=4)
+        tree, lazy = make_engine(g)
+        _, swept = make_engine(g)
+        swept.precompute_all()
+        for eid in tree.tree_edges():
+            a = lazy.failure(eid)
+            b = swept.failure(eid)
+            assert (a.eid, a.child, a.dist, a.parent, a.parent_eid) == (
+                b.eid, b.child, b.dist, b.parent, b.parent_eid
+            )
+
+    def test_stats_counters(self):
+        g = grid_graph(3, 3)
+        tree, engine = make_engine(g)
+        eid = tree.tree_edges()[0]
+        engine.failure(eid)
+        engine.failure(eid)
+        s = engine.stats()
+        assert (s.lazy_computes, s.hits, s.sweep_fills) == (1, 1, 0)
+        assert s.cached_edges == 1
+        assert s.tree_edges == len(tree.tree_edges())
+        engine.precompute_all()
+        s = engine.stats()
+        assert s.sweep_fills == s.tree_edges - 1  # the probed edge skipped
+        assert s.cached_edges == s.tree_edges
+
+    def test_clear_bounds_memory_counters_survive(self):
+        g = grid_graph(3, 3)
+        tree, engine = make_engine(g)
+        engine.precompute_all()
+        fills = engine.stats().sweep_fills
+        engine.clear()
+        s = engine.stats()
+        assert s.cached_edges == 0
+        assert s.sweep_fills == fills  # cumulative economics survive
+        # probing after clear() recomputes (lazily) and still matches
+        eid = tree.tree_edges()[0]
+        assert engine.failure(eid).eid == eid
+        assert engine.stats().lazy_computes == 1
+
+    def test_clear_resets_auto_upgrade_trigger(self):
+        """A clear() must not be undone by the very next probe: the
+        eager-upgrade counter restarts, so post-clear probes stay lazy
+        until a fresh constant fraction of the tree is touched."""
+        g = gnp_random_graph(40, 0.15, seed=6)
+        tree, engine = make_engine(g)
+        edges = tree.tree_edges()
+        for eid in edges[: engine._eager_threshold]:
+            engine.failure(eid)
+        engine.clear()
+        engine.failure(edges[0])
+        s = engine.stats()
+        assert s.sweep_fills == 0  # no full re-sweep after the clear
+        assert s.cached_edges == 1
+
+    def test_lazy_probes_auto_upgrade_to_sweep(self):
+        """Past a constant fraction of the tree edges, the next miss
+        sweeps everything still missing."""
+        from repro.spt import replacement as rmod
+
+        g = gnp_random_graph(40, 0.15, seed=6)
+        tree, engine = make_engine(g)
+        edges = tree.tree_edges()
+        threshold = engine._eager_threshold
+        assert threshold < len(edges)
+        for eid in edges[:threshold]:
+            engine.failure(eid)
+        s = engine.stats()
+        assert (s.lazy_computes, s.sweep_fills) == (threshold, 0)
+        engine.failure(edges[threshold])  # the upgrade trigger
+        s = engine.stats()
+        assert s.lazy_computes == threshold
+        assert s.sweep_fills == len(edges) - threshold
+        assert s.cached_edges == len(edges)
+
+
 class TestAgainstNetworkx:
     @pytest.mark.parametrize("seed", range(8))
     def test_all_failures_all_vertices(self, seed):

@@ -7,6 +7,12 @@ reference for the exact scheme); either way ``shortest_paths`` /
 same big-int ``dist``, same ``parent``/``parent_eid`` trees, and the
 same order-dependent :class:`~repro.errors.TieBreakError` behavior,
 including the reseed-on-tie path of ``run_pcons``.
+
+The batched replacement subsystem (PR 4) extends the contract: the
+stacked ``weighted_failure_sweep`` / ``batched_shortest_paths`` /
+``batched_seeded_shortest_paths`` paths must be bit-identical to the
+per-call loops they amortize, across engines, both weight schemes,
+disconnected subtrees included.
 """
 
 import random
@@ -18,7 +24,7 @@ from hypothesis import strategies as st
 pytest.importorskip("numpy")
 
 from repro.core.pcons import run_pcons
-from repro.engine import engine_context, get_engine
+from repro.engine import engine_context, get_engine, replacement_failure
 from repro.errors import GraphError, TieBreakError
 from repro.graphs import Graph, cycle_graph, gnp_random_graph
 from repro.spt.spt_tree import build_spt
@@ -244,6 +250,193 @@ def test_degenerate_weights_tie_parity(pair, salt):
 
 
 # ----------------------------------------------------------------------
+# the batched replacement subsystem: sweep-vs-lazy and batch-vs-per-call
+# ----------------------------------------------------------------------
+def run_both_batched(method, *args, **kwargs):
+    """Consume a batched generator on both engines; kinds must agree."""
+    results = []
+    for engine in (PY, CSR):
+        try:
+            results.append(("ok", list(getattr(engine, method)(*args, **kwargs))))
+        except TieBreakError:
+            results.append(("tie", None))
+        except GraphError:
+            results.append(("graph-error", None))
+    (kind_a, a), (kind_b, b) = results
+    assert kind_a == kind_b, f"engines disagree: python={kind_a} csr={kind_b}"
+    return kind_a, a, b
+
+
+@settings(max_examples=40, **COMMON)
+@given(graph_with_source(max_vertices=26, connected=False), st.integers(0, 3),
+       st.sampled_from([EXACT, RANDOM]))
+def test_weighted_failure_sweep_parity(pair, wseed, scheme):
+    """The stacked sweep equals both the python sweep and the per-edge
+    lazy recomputes, bit for bit, disconnected subtrees included."""
+    g, source = pair
+    w = make_weights(g, scheme, seed=wseed)
+    tree = build_spt(g, w, source)
+    kind, a, b = run_both_batched("weighted_failure_sweep", g, w, tree)
+    if kind != "ok":
+        return
+    assert a == b
+    assert [item[0] for item in a] == tree.tree_edges()
+    # ... and every item matches the per-edge lazy path on each engine.
+    for engine, items in ((PY, a), (CSR, b)):
+        for item in items:
+            assert item == replacement_failure(engine, g, w, tree, item[0])
+
+
+@settings(max_examples=30, **COMMON)
+@given(graph_with_source(max_vertices=24, connected=False), st.integers(0, 3),
+       st.sampled_from([EXACT, RANDOM]))
+def test_batched_shortest_paths_parity(pair, wseed, scheme):
+    """The stacked detour batch equals per-source calls on both engines."""
+    g, source = pair
+    w = make_weights(g, scheme, seed=wseed)
+    tree = build_spt(g, w, source)
+    sources = [v for v in range(g.num_vertices) if tree.is_reachable(v)]
+    bans = [set(tree.path_vertices(v)) - {v} for v in sources]
+    kind, a, b = run_both_batched("batched_shortest_paths", g, w, sources, bans)
+    if kind != "ok":
+        return
+    for v, banned, x, y in zip(sources, bans, a, b):
+        assert_same_result(x, y)
+        single = PY.shortest_paths(g, w, v, banned_vertices=banned)
+        assert_same_result(single, y)
+
+
+def test_batched_seeded_parity_vertex_fault_shape():
+    """Batched seeded runs (the vertex-fault shape: punctured subtrees,
+    including seedless all-disconnected batches) match per-batch calls."""
+    g = gnp_random_graph(40, 0.12, seed=5)
+    w = make_weights(g, RANDOM, seed=5)
+    tree = build_spt(g, w, 0)
+    from repro.core.vertex_fault import _vertex_failure_seeds
+
+    batches = []
+    for x in tree.preorder:
+        if x == 0:
+            continue
+        sub = [u for u in tree.subtree_vertices(x) if u != x]
+        if not sub:
+            continue
+        batches.append(
+            (_vertex_failure_seeds(g, tree, w, x, sub), set(sub), None)
+        )
+    assert batches
+    kind, a, b = run_both_batched("batched_seeded_shortest_paths", g, w, batches)
+    assert kind == "ok"
+    for (seeds, allowed, _), x, y in zip(batches, a, b):
+        assert_same_result(x, y)
+        single = PY.seeded_shortest_paths(
+            g, w, list(seeds), allowed_vertices=allowed
+        )
+        assert_same_result(single, y)
+
+
+def test_batched_banned_source_raises_on_both():
+    g = cycle_graph(6)
+    w = make_weights(g, RANDOM, seed=0)
+    kind, _, _ = run_both_batched(
+        "batched_shortest_paths", g, w, [0, 1], [None, {1}]
+    )
+    assert kind == "graph-error"
+
+
+def test_batched_ban_length_mismatch_raises_on_both():
+    """A short ban list must fail fast, never silently truncate."""
+    g = cycle_graph(6)
+    w = make_weights(g, RANDOM, seed=0)
+    kind, _, _ = run_both_batched(
+        "batched_shortest_paths", g, w, [0, 1, 2], [None, {1}]
+    )
+    assert kind == "graph-error"
+
+
+def test_batched_seeded_accepts_generator_input():
+    """The batch source may be a generator (the vertex-fault caller
+    streams batches); chunked consumption must not change results."""
+    g = gnp_random_graph(30, 0.15, seed=3)
+    w = make_weights(g, RANDOM, seed=3)
+    tree = build_spt(g, w, 0)
+    from repro.core.vertex_fault import _vertex_failure_seeds
+
+    def make_batches():
+        for x in tree.preorder:
+            if x == 0 or tree.subtree_size(x) <= 1:
+                continue
+            sub = [u for u in tree.subtree_vertices(x) if u != x]
+            yield (_vertex_failure_seeds(g, tree, w, x, sub), set(sub), None)
+
+    from_list = list(
+        CSR.batched_seeded_shortest_paths(g, w, list(make_batches()))
+    )
+    from_gen = list(CSR.batched_seeded_shortest_paths(g, w, make_batches()))
+    assert len(from_list) == len(from_gen) > 0
+    for a, b in zip(from_list, from_gen):
+        assert_same_result(a, b)
+
+
+def test_batched_seeded_seed_outside_allowed_raises_on_both():
+    g = cycle_graph(6)
+    w = make_weights(g, RANDOM, seed=0)
+    kind, _, _ = run_both_batched(
+        "batched_seeded_shortest_paths", g, w,
+        [([(w.big, 0, 5, 4)], set(range(1, 5)), None)],
+    )
+    assert kind == "graph-error"
+
+
+def test_batched_seeded_error_kind_follows_seed_order():
+    """A seed tie arriving before an invalid seed raises TieBreakError,
+    after it GraphError - the reference's sequential order, which the
+    vectorized intake must reproduce rather than validating upfront."""
+    g = cycle_graph(6)
+    w = make_weights(g, RANDOM, seed=0)
+    d = 3 * w.big
+    tie_first = [(d, 2, 1, 1), (d, 2, 3, 2), (w.big, 5, 4, 4)]
+    invalid_first = [(w.big, 5, 4, 4), (d, 2, 1, 1), (d, 2, 3, 2)]
+    kind, _, _ = run_both_batched(
+        "batched_seeded_shortest_paths", g, w, [(tie_first, {2, 3}, None)]
+    )
+    assert kind == "tie"
+    kind, _, _ = run_both_batched(
+        "batched_seeded_shortest_paths", g, w, [(invalid_first, {2, 3}, None)]
+    )
+    assert kind == "graph-error"
+
+
+def test_batched_equal_weight_seeds_tie_on_both():
+    g = cycle_graph(6)
+    w = make_weights(g, RANDOM, seed=0)
+    d = 3 * w.big
+    seeds = [(d, 2, 1, 1), (d, 2, 3, 2)]  # same dist, different entry edge
+    kind, _, _ = run_both_batched(
+        "batched_seeded_shortest_paths", g, w, [(seeds, {2, 3}, None)]
+    )
+    assert kind == "tie"
+
+
+def test_sweep_chunking_boundaries_are_invisible():
+    """Force one-edge chunks: results must not change (chunking is an
+    internal batching decision, not part of the contract)."""
+    import repro.engine.csr_engine as ce
+
+    g = gnp_random_graph(50, 0.12, seed=9)
+    w = make_weights(g, RANDOM, seed=9)
+    tree = build_spt(g, w, 0)
+    whole = list(CSR.weighted_failure_sweep(g, w, tree))
+    old = ce._STACK_STREAM
+    try:
+        ce._STACK_STREAM = 1  # one subtree per chunk
+        tiny = list(CSR.weighted_failure_sweep(g, w, tree))
+    finally:
+        ce._STACK_STREAM = old
+    assert whole == tiny
+
+
+# ----------------------------------------------------------------------
 # construction-level parity + the reseed-on-tie path
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -258,6 +451,11 @@ def test_run_pcons_random_scheme_engine_parity(seed):
     assert ref.tree.parent == fast.tree.parent
     assert ref.tree.parent_eid == fast.tree.parent_eid
     assert ref.pairs.pairs == fast.pairs.pairs  # full PairRecord equality
+    # Counters too: the replacement sweep/lazy/hit economics are part of
+    # the deterministic construction record.
+    assert ref.stats == fast.stats
+    assert ref.stats.replacement_sweep_fills == len(ref.tree.tree_edges())
+    assert ref.stats.replacement_lazy_computes == 0
 
 
 def test_run_pcons_reseeds_identically_on_tie():
