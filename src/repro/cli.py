@@ -131,6 +131,7 @@ def _cmd_engines() -> int:
         print(f"  {'':<8}   weighted: {engine.weighted_backend}")
         print(f"  {'':<8}   replacement: {engine.replacement_backend}")
         print(f"  {'':<8}   detours: {engine.detour_backend}")
+        print(f"  {'':<8}   transport: {engine.transport}")
     print(f"select with --engine, ${ENGINE_ENV_VAR}, or repro.engine.set_default_engine")
     return 0
 

@@ -23,8 +23,10 @@ the csr engine each sweep reuses a single base BFS tree and recomputes
 only the subtree hanging under a failed tree edge, which is what makes
 ``verify_structure`` fast at scale; the python engine runs the historical
 two-BFS-per-failure loop.  Graphs above ``REPRO_SHARD_THRESHOLD`` edges
-(default 200000) are automatically verified under the process-sharded
-engine (:mod:`repro.engine.sharded`), which splits each sweep across
+(default 100000 under the shared-memory shard transport, 200000 when
+only the pickle transport exists) are
+automatically verified under the process-sharded engine
+(:mod:`repro.engine.sharded`), which splits each sweep across
 worker processes.  Verdicts, counts, and violations are bit-identical
 across engines — sharded included (enforced by the parity tests).
 
@@ -93,7 +95,26 @@ class VerificationReport:
 #: Edge count above which verification auto-upgrades to the sharded engine.
 SHARD_THRESHOLD_ENV_VAR = "REPRO_SHARD_THRESHOLD"
 
+#: Pickle transport: each shard re-pickles and rebuilds the whole graph,
+#: so sharding only pays on very large sweeps (the historical default).
 _DEFAULT_SHARD_THRESHOLD = 200_000
+
+#: Shared-memory transport (PR 5): shard payloads are O(1) instead of a
+#: full graph pickle and the base traversal is memoized per worker (see
+#: ``benchmarks/bench_sharded.py``), so sharding breaks even at roughly
+#: half the pickle transport's edge count.
+_DEFAULT_SHARD_THRESHOLD_SHM = 100_000
+
+
+def _default_shard_threshold() -> int:
+    """The auto-upgrade default for whichever transport sweeps would use."""
+    from repro.engine import shm
+
+    return (
+        _DEFAULT_SHARD_THRESHOLD_SHM
+        if shm.transport_enabled()
+        else _DEFAULT_SHARD_THRESHOLD
+    )
 
 
 def _resolve_engine(graph: Graph, engine: Optional[str]):
@@ -106,7 +127,7 @@ def _resolve_engine(graph: Graph, engine: Optional[str]):
     eng = get_engine(engine)
     if engine is not None or eng.name == "sharded":
         return eng
-    threshold = env_int(SHARD_THRESHOLD_ENV_VAR, _DEFAULT_SHARD_THRESHOLD)
+    threshold = env_int(SHARD_THRESHOLD_ENV_VAR, _default_shard_threshold())
     if graph.num_edges >= threshold:
         try:
             return get_engine("sharded")

@@ -43,7 +43,12 @@ Built-in engines
 ``"sharded"``
     Process-sharded ``failure_sweep`` over a single-process base engine
     (:mod:`repro.engine.sharded`); bit-identical to the base, used for
-    large graphs and never the implicit default.
+    large graphs and never the implicit default.  Shard inputs travel
+    through the shared-memory graph plane (:mod:`repro.engine.shm`):
+    the CSR view / weights / tree arrays are published once per sweep
+    and workers attach zero-copy, with a pickle fallback when shared
+    memory or numpy is unavailable.  Engines report their transport
+    via ``transport`` (shown by ``repro engines``).
 
 Selection
 ---------

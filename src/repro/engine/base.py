@@ -151,6 +151,12 @@ class TraversalEngine:
     #: engines`` and E16's ``detour_batch`` column report it).
     detour_backend: str = "per-source reference Dijkstra"
 
+    #: How the engine moves inputs to its compute (``repro engines``
+    #: reports it).  In-process engines share the caller's memory; the
+    #: sharded engine overrides this with its cross-process transport
+    #: (shared-memory plane vs pickle, see :mod:`repro.engine.shm`).
+    transport: str = "in-process"
+
     # -- unweighted (hop) traversals -----------------------------------
     def distances(
         self,

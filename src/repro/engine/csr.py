@@ -23,7 +23,7 @@ an empty cache of their own.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,10 +43,43 @@ class CSRAdjacency:
     edge_ids: np.ndarray
     edge_u: np.ndarray
     edge_v: np.ndarray
+    #: Optional object the arrays' memory belongs to (a shared-memory
+    #: segment, see :mod:`repro.engine.shm`).  numpy's base chain does
+    #: NOT keep a ``SharedMemory`` alive - its ``__del__`` unmaps the
+    #: buffer under any surviving views - so every holder of this view
+    #: must (transitively) hold the owner too.
+    owner: object = field(default=None, compare=False, repr=False)
 
     def degree_array(self) -> np.ndarray:
         """Degrees as an int64 array (a fresh array per call)."""
         return self.indptr[1:] - self.indptr[:-1]
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        num_edges: int,
+        arrays,
+        owner: object = None,
+    ) -> "CSRAdjacency":
+        """Rebuild a view from a mapping of its five named arrays.
+
+        Used by the shared-memory plane (:mod:`repro.engine.shm`) to
+        wrap arrays attached zero-copy from another process; the caller
+        is responsible for the arrays being int64 and read-only, and
+        passes the backing segment as ``owner`` so the mapping lives as
+        long as the view does.
+        """
+        return cls(
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            indptr=arrays["indptr"],
+            indices=arrays["indices"],
+            edge_ids=arrays["edge_ids"],
+            edge_u=arrays["edge_u"],
+            edge_v=arrays["edge_v"],
+            owner=owner,
+        )
 
 
 def _build(graph: Graph) -> CSRAdjacency:

@@ -541,18 +541,10 @@ class CSREngine(PythonEngine):
                 graph, weights, tree, eids=edge_list
             )
             return
-        shift = weights.shift
-        mask = (1 << shift) - 1
         n = graph.num_vertices
         # Per-vertex tree metadata, decomposed once for the whole sweep.
-        pert0_list = [0] * n
-        max_pert0 = 0
-        for v, d in enumerate(tree.dist):
-            if d is not None:
-                p = d & mask
-                pert0_list[v] = p
-                if p > max_pert0:
-                    max_pert0 = p
+        pert0_list = tree.dist_perturbations(weights)
+        max_pert0 = max(pert0_list, default=0)
         # Re-gate with the largest possible crossing-edge seed: the plan
         # must prove seed + path perturbations never carry into the hop
         # bits, exactly as the per-call seeded path does.

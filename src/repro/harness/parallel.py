@@ -56,6 +56,7 @@ __all__ = [
     "default_worker_count",
     "resolve_stage",
     "in_worker_process",
+    "mark_worker",
     "WORKER_ENV_VAR",
     "MAX_WORKERS_ENV_VAR",
 ]
@@ -103,9 +104,19 @@ def resolve_stage(func_ref: str) -> Callable[[Mapping[str, Any]], Any]:
     return fn
 
 
-def _mark_worker() -> None:
-    """Pool initializer: tag the process so nested fanouts stay serial."""
+def mark_worker() -> None:
+    """Pool initializer: tag the process so nested fanouts stay serial.
+
+    Every process pool in the library must install this (the harness
+    stage pool here, the sharded engine's persistent sweep pool) -
+    an unmarked worker that reaches a parallel primitive would fan out
+    again and oversubscribe the machine.
+    """
     os.environ[WORKER_ENV_VAR] = "1"
+
+
+#: Backwards-compatible alias (the initializer predates its export).
+_mark_worker = mark_worker
 
 
 def in_worker_process() -> bool:

@@ -130,6 +130,22 @@ class ShortestPathTree:
                 a = cand
         return up[0][a]
 
+    def dist_perturbations(self, weights: Optional[WeightAssignment] = None) -> List[int]:
+        """Per-vertex perturbation components of ``dist`` (0 where unreachable).
+
+        The composite weight splits as ``dist = (hops << shift) + pert``;
+        ``depth`` already holds the hop components, this returns the
+        other half.  Shared by the csr engine's stacked sweep and the
+        shared-memory plane so the decomposition never diverges.
+        """
+        w = self.weights if weights is None else weights
+        mask = w.big - 1
+        pert = [0] * len(self.dist)
+        for v, d in enumerate(self.dist):
+            if d is not None:
+                pert[v] = d & mask
+        return pert
+
     # ------------------------------------------------------------------
     # paths and tree edges
     # ------------------------------------------------------------------

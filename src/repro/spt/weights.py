@@ -136,6 +136,21 @@ class WeightAssignment:
         arr.setflags(write=False)
         return arr, (max(perts) if perts else 0)
 
+    def __getstate__(self):
+        """Pickle everything except the memoized numpy export.
+
+        Like ``Graph._csr_cache``, the export is a rebuildable memo:
+        shipping it would bloat every shard payload with a second copy
+        of the per-edge perturbations once any engine has exported them.
+        """
+        state = dict(self.__dict__)
+        state["_pert_cache"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def reseeded(self, new_seed: int) -> "WeightAssignment":
         """Return a random-scheme assignment with a fresh seed.
 

@@ -45,6 +45,7 @@ class TestEngines:
         assert "weighted:" in out  # per-engine weighted capability line
         assert "replacement:" in out  # weighted-failure-sweep backend
         assert "detours:" in out  # batched multi-source backend
+        assert "transport:" in out  # shard-input transport (shm vs pickle)
         if "csr" in available_engines():
             assert "csr" in out
 

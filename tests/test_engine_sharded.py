@@ -21,6 +21,98 @@ def instance():
     return graph, structure
 
 
+def _probe_worker_state(lo, hi):
+    """Worker body for the nesting test: report the marker and the plan
+    a nested sharded engine would make inside this pool worker."""
+    from repro.engine.sharded import ShardedEngine
+    from repro.harness.parallel import in_worker_process
+
+    nested = ShardedEngine(min_batch=1, max_workers=4)
+    return [(in_worker_process(), nested._plan(10_000))]
+
+
+class TestWorkerMarking:
+    def test_sweep_workers_are_marked(self):
+        """Sweep pool workers must carry REPRO_IN_WORKER so nested
+        parallel primitives (verify's sharded auto-upgrade inside a
+        worker) degrade to serial instead of fanning out again."""
+        engine = ShardedEngine(max_workers=2, min_batch=1)
+        results = list(
+            engine._stream_shards(
+                [(0, 1)],
+                1,
+                lambda pool, lo, hi: pool.submit(_probe_worker_state, lo, hi),
+            )
+        )
+        assert results == [(True, 1)]
+
+
+class TestPersistentPool:
+    def test_pool_growth_does_not_strand_streaming_sweep(
+        self, instance, monkeypatch
+    ):
+        """A sweep streaming on the shared pool must survive another
+        engine growing (recreating) that pool mid-stream: submissions
+        re-resolve the current pool, in-flight futures drain."""
+        from repro.engine.sharded import _POOLS, _discard_pool, _pool_key
+
+        # Pin the auto worker count so the initial pool is exactly 2
+        # slots regardless of host core count (pools are sized
+        # max(requested, default_worker_count())), and drop any pool a
+        # previous test already grew.
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        _discard_pool(None)
+        graph, _ = instance
+        eids = list(range(graph.num_edges))
+        reference = list(get_engine().failure_sweep(graph, 0, eids))
+        small = ShardedEngine(max_workers=2, min_batch=1)
+        gen = small.failure_sweep(graph, 0, eids)
+        got = [next(gen)]
+        # A wider engine forces the cached pool to be replaced.
+        big = ShardedEngine(max_workers=3, min_batch=1)
+        pool_before = _POOLS.get(_pool_key(None))
+        list(big.failure_sweep(graph, 0, eids[: graph.num_edges // 2]))
+        assert _POOLS.get(_pool_key(None)) is not pool_before
+        got.extend(gen)  # the first sweep keeps streaming
+        assert len(got) == len(reference)
+        for ref, item in zip(reference, got):
+            assert distances_equal(ref, item)
+
+
+class TestShardBounds:
+    def test_no_shard_below_min_batch(self):
+        """The documented contract: shards never drop below min_batch
+        items.  The old max(workers, items // min_batch) formula broke
+        it whenever workers dominated (e.g. 100 items, 4 workers,
+        min_batch 64 -> four shards of 25)."""
+        from repro.engine.sharded import _shard_bounds
+
+        for num_items, workers, min_batch in [
+            (100, 4, 64),   # the old formula's counterexample
+            (1000, 4, 64),
+            (257, 3, 32),
+            (64, 8, 64),
+            (4096, 16, 16),
+            (65, 2, 64),
+        ]:
+            bounds = _shard_bounds(num_items, workers, min_batch)
+            sizes = [hi - lo for lo, hi in bounds]
+            assert sum(sizes) == num_items
+            assert bounds[0][0] == 0 and bounds[-1][1] == num_items
+            assert all(
+                bounds[i][1] == bounds[i + 1][0] for i in range(len(bounds) - 1)
+            )
+            if num_items >= min_batch:
+                assert min(sizes) >= min_batch, (num_items, workers, min_batch)
+            assert len(bounds) <= workers * 4
+
+    def test_tiny_requests_collapse_to_one_shard(self):
+        from repro.engine.sharded import _shard_bounds
+
+        assert _shard_bounds(3, 4, 64) == [(0, 3)]
+        assert _shard_bounds(0, 4, 64) == []
+
+
 class TestRegistration:
     def test_registered(self):
         assert "sharded" in available_engines()

@@ -1,0 +1,449 @@
+"""Shared-memory graph plane: payloads, façades, lifecycle, parity.
+
+Covers the PR 5 transport end to end:
+
+* pickle hygiene - the memoize-then-pickle hazards (``Graph._csr_cache``,
+  ``WeightAssignment._pert_cache``) stay out of pickled state, and the
+  tree carries no memoized arrays to begin with (regression-pinned by
+  size);
+* worker façades - graphs/weights/trees rebuilt from an attached plane
+  are observably identical to the originals;
+* shard payloads are O(1) in graph size;
+* transport parity - shm and pickle transports are bit-identical to the
+  base engine on both sweeps, under fork and spawn start methods;
+* segment lifecycle - nothing leaks after normal completion, early
+  generator abandonment, worker crash, or owner garbage collection.
+"""
+
+import gc
+import os
+import pickle
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.engine import ShardedEngine, distances_equal, get_engine, shm
+from repro.engine.csr import csr_view
+from repro.graphs import connected_gnp_graph
+from repro.spt.spt_tree import build_spt
+from repro.spt.weights import make_weights
+
+needs_shm = pytest.mark.skipif(
+    not shm.transport_enabled(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = connected_gnp_graph(90, 0.08, seed=7)
+    weights = make_weights(graph, "random", seed=3)
+    tree = build_spt(graph, weights, 0)
+    return graph, weights, tree
+
+
+def _segment_file(name: str) -> str:
+    return os.path.join("/dev/shm", name)
+
+
+def _fs_gone(name: str) -> bool:
+    """Whether the segment's backing file is gone (always True off-Linux)."""
+    return not os.path.isdir("/dev/shm") or not os.path.exists(_segment_file(name))
+
+
+# ----------------------------------------------------------------------
+# pickle hygiene (the shard-payload bugs this PR fixes)
+# ----------------------------------------------------------------------
+class TestPickleHygiene:
+    def test_graph_pickle_excludes_csr_cache(self):
+        graph = connected_gnp_graph(200, 0.05, seed=1)
+        before = len(pickle.dumps(graph))
+        csr_view(graph)
+        assert graph._csr_cache is not None
+        # The measured regression was 26KB -> 74KB on this instance.
+        assert len(pickle.dumps(graph)) == before
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone == graph
+        assert clone._csr_cache is None
+        assert [clone.adjacency(v) for v in clone.vertices()] == [
+            graph.adjacency(v) for v in graph.vertices()
+        ]
+        # The clone rebuilds its own CSR view on demand.
+        rebuilt = csr_view(clone)
+        assert np.array_equal(rebuilt.indptr, csr_view(graph).indptr)
+        assert np.array_equal(rebuilt.indices, csr_view(graph).indices)
+
+    def test_weights_pickle_excludes_pert_cache(self, instance):
+        graph, _, _ = instance
+        weights = make_weights(graph, "random", seed=11)
+        before = len(pickle.dumps(weights))
+        assert weights.pert_array() is not None
+        assert len(pickle.dumps(weights)) == before
+        clone = pickle.loads(pickle.dumps(weights))
+        assert clone._pert_cache is None
+        assert list(clone.weights) == list(weights.weights)
+        assert np.array_equal(clone.pert_array()[0], weights.pert_array()[0])
+        assert clone.pert_array()[1] == weights.pert_array()[1]
+
+    def test_exact_weights_pickle_stable_too(self):
+        graph = connected_gnp_graph(30, 0.2, seed=2)
+        weights = make_weights(graph, "exact")
+        before = len(pickle.dumps(weights))
+        weights.pert_array()  # memoizes the "unsupported" marker
+        assert len(pickle.dumps(weights)) == before
+
+    def test_tree_pickle_carries_no_memoized_arrays(self, instance):
+        """Audit: SPTTree memoizes no engine exports; running the csr
+        weighted sweep over it (which exports graph CSR + perturbation
+        arrays) must not grow its pickle."""
+        from repro.engine import available_engines
+
+        graph, weights, tree = instance
+        before = len(pickle.dumps(tree))
+        if "csr" in available_engines():
+            list(get_engine("csr").weighted_failure_sweep(graph, weights, tree))
+        assert len(pickle.dumps(tree)) == before
+
+
+# ----------------------------------------------------------------------
+# façades
+# ----------------------------------------------------------------------
+@needs_shm
+class TestFacades:
+    def test_shared_graph_matches_original(self, instance):
+        graph, _, _ = instance
+        plane = shm.publish_graph(graph)
+        try:
+            shared, weights, tree = shm.attach_plane(plane.handle)
+            assert weights is None and tree is None
+            assert shared.num_vertices == graph.num_vertices
+            assert shared.num_edges == graph.num_edges
+            assert shared == graph
+            assert [shared.adjacency(v) for v in shared.vertices()] == [
+                graph.adjacency(v) for v in graph.vertices()
+            ]
+            u, v = graph.endpoints(5)
+            assert shared.endpoints(5) == (u, v)
+            assert shared.edge_id(u, v) == 5
+            assert shared.degrees() == graph.degrees()
+            # the attached CSR view is the zero-copy cache
+            assert shared._csr_cache is not None
+            assert np.array_equal(
+                csr_view(shared).indptr, csr_view(graph).indptr
+            )
+        finally:
+            plane.unlink()
+
+    def test_attached_weights_and_tree(self, instance):
+        graph, weights, tree = instance
+        plane = shm.publish_tree(graph, weights, tree)
+        try:
+            shared, w2, t2 = shm.attach_plane(plane.handle)
+            assert list(w2.weights) == list(weights.weights)
+            assert (w2.shift, w2.scheme, w2.seed) == (
+                weights.shift, weights.scheme, weights.seed,
+            )
+            assert np.array_equal(w2.pert_array()[0], weights.pert_array()[0])
+            assert t2.source == tree.source
+            assert t2.dist == tree.dist
+            assert t2.parent == tree.parent
+            assert t2.parent_eid == tree.parent_eid
+            assert t2.depth == tree.depth
+            assert (t2.tin, t2.tout, t2.preorder) == (
+                tree.tin, tree.tout, tree.preorder,
+            )
+            assert t2.tree_edges() == tree.tree_edges()
+            eid = tree.tree_edges()[0]
+            assert t2.edge_child(eid) == tree.edge_child(eid)
+            assert list(t2.subtree_vertices(t2.edge_child(eid))) == list(
+                tree.subtree_vertices(tree.edge_child(eid))
+            )
+        finally:
+            plane.unlink()
+
+    def test_exact_scheme_has_no_plane(self):
+        graph = connected_gnp_graph(70, 0.1, seed=5)
+        weights = make_weights(graph, "exact")
+        tree = build_spt(graph, weights, 0)
+        assert shm.publish_tree(graph, weights, tree) is None
+
+    def test_request_roundtrip(self, instance):
+        graph, _, _ = instance
+        request = shm.publish_request(
+            range(graph.num_edges), allowed_edges={3, 1, 2}, source=0
+        )
+        try:
+            view = shm.attach_request(request.handle)
+            assert view.eids.tolist() == list(range(graph.num_edges))
+            assert view.allowed == {1, 2, 3}
+            assert request.handle.source == 0
+        finally:
+            request.unlink()
+
+    def test_env_var_disables_transport(self, monkeypatch):
+        monkeypatch.setenv(shm.SHM_ENV_VAR, "0")
+        assert not shm.transport_enabled()
+        assert shm.publish_graph(connected_gnp_graph(10, 0.3, seed=0)) is None
+
+
+# ----------------------------------------------------------------------
+# payload economics
+# ----------------------------------------------------------------------
+@needs_shm
+class TestPayloads:
+    def test_shard_payload_o1_in_graph_size(self):
+        """The shm submit payload must not grow with the graph."""
+        from repro.engine.sharded import _sweep_shard  # noqa: F401  (old path)
+
+        payloads = {}
+        pickle_payloads = {}
+        graphs = {}
+        for n in (200, 800):
+            graph = connected_gnp_graph(n, 24.0 / (n - 1), seed=1)
+            graphs[n] = graph  # keep alive: planes die with their graph
+            eids = list(range(graph.num_edges))
+            plane = shm.graph_plane(graph)
+            request = shm.publish_request(eids, None, 0)
+            payloads[n] = len(
+                pickle.dumps((plane.handle, request.handle, 0, 64, "csr"))
+            )
+            pickle_payloads[n] = len(
+                pickle.dumps((graph, 0, eids[:64], None, "csr"))
+            )
+            request.unlink()
+        assert payloads[800] < payloads[200] * 1.5  # O(1), not O(m)
+        assert payloads[800] < 2_000  # a handful of handles, not arrays
+        assert pickle_payloads[800] > 4 * pickle_payloads[200]  # the old cost
+        assert payloads[800] < pickle_payloads[800] / 20
+
+
+# ----------------------------------------------------------------------
+# transport parity
+# ----------------------------------------------------------------------
+@needs_shm
+class TestTransportParity:
+    @pytest.mark.parametrize("base", ["python", "csr"])
+    def test_failure_sweep_transports_bit_identical(self, instance, base):
+        from repro.engine import available_engines
+
+        if base not in available_engines():
+            pytest.skip(f"{base} engine unavailable")
+        graph, _, _ = instance
+        eids = list(range(graph.num_edges))
+        reference = list(get_engine(base).failure_sweep(graph, 0, eids))
+        for transport in ("shm", "pickle"):
+            forced = ShardedEngine(
+                base=base, max_workers=2, min_batch=1, transport=transport
+            )
+            got = list(forced.failure_sweep(graph, 0, eids))
+            assert len(got) == len(reference), transport
+            for ref, item in zip(reference, got):
+                assert distances_equal(ref, item), transport
+
+    def test_masked_sweep_transports_bit_identical(self, instance):
+        graph, _, tree = instance
+        h_edges = set(tree.tree_edges())
+        eids = sorted(h_edges)
+        reference = list(
+            get_engine("csr").failure_sweep(graph, 0, eids, allowed_edges=h_edges)
+        )
+        for transport in ("shm", "pickle"):
+            forced = ShardedEngine(
+                base="csr", max_workers=2, min_batch=1, transport=transport
+            )
+            got = list(
+                forced.failure_sweep(graph, 0, eids, allowed_edges=h_edges)
+            )
+            for ref, item in zip(reference, got):
+                assert distances_equal(ref, item), transport
+
+    @pytest.mark.parametrize("base", ["python", "csr"])
+    def test_weighted_sweep_transports_bit_identical(self, instance, base):
+        from repro.engine import available_engines
+
+        if base not in available_engines():
+            pytest.skip(f"{base} engine unavailable")
+        graph, weights, tree = instance
+        reference = list(
+            get_engine(base).weighted_failure_sweep(graph, weights, tree)
+        )
+        for transport in ("shm", "pickle"):
+            forced = ShardedEngine(
+                base=base, max_workers=2, min_batch=1, transport=transport
+            )
+            assert (
+                list(forced.weighted_failure_sweep(graph, weights, tree))
+                == reference
+            ), transport
+
+    def test_spawn_start_method_parity(self, instance):
+        """The plane attaches across a spawn boundary too (fresh
+        interpreter, inherited resource tracker)."""
+        graph, weights, tree = instance
+        eids = list(range(0, graph.num_edges, 3))
+        reference = list(get_engine("csr").failure_sweep(graph, 0, eids))
+        forced = ShardedEngine(
+            base="csr", max_workers=2, min_batch=1, start_method="spawn"
+        )
+        got = list(forced.failure_sweep(graph, 0, eids))
+        for ref, item in zip(reference, got):
+            assert distances_equal(ref, item)
+        sample = tree.tree_edges()[:40]
+        assert list(
+            forced.weighted_failure_sweep(graph, weights, tree, eids=sample)
+        ) == list(
+            get_engine("csr").weighted_failure_sweep(
+                graph, weights, tree, eids=sample
+            )
+        )
+        assert shm.active_segment_names("request") == []
+
+    def test_publish_failure_falls_back_to_pickle(self, instance, monkeypatch):
+        """An exhausted /dev/shm (simulated: publish returns None) must
+        degrade to the pickle transport, not fail the sweep."""
+        graph, weights, tree = instance
+        monkeypatch.setattr(shm, "publish_request", lambda *a, **k: None)
+        engine = ShardedEngine(base="csr", max_workers=2, min_batch=1)
+        eids = list(range(graph.num_edges))
+        reference = list(get_engine("csr").failure_sweep(graph, 0, eids))
+        got = list(engine.failure_sweep(graph, 0, eids))
+        assert len(got) == len(reference)
+        for ref, item in zip(reference, got):
+            assert distances_equal(ref, item)
+        assert list(engine.weighted_failure_sweep(graph, weights, tree)) == list(
+            get_engine("csr").weighted_failure_sweep(graph, weights, tree)
+        )
+
+    def test_forced_shm_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setenv(shm.SHM_ENV_VAR, "0")
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            ShardedEngine(transport="shm")._shm_wanted()
+
+    def test_forced_shm_never_falls_back_silently(self, instance):
+        """Forced shm must raise, not pickle, for sweeps the plane
+        cannot carry (exact-scheme weights) or failed publishes."""
+        from repro.errors import EngineError
+
+        graph, _, _ = instance
+        exact = make_weights(graph, "exact")
+        tree = build_spt(graph, exact, 0)
+        forced = ShardedEngine(max_workers=2, min_batch=1, transport="shm")
+        with pytest.raises(EngineError):
+            list(forced.weighted_failure_sweep(graph, exact, tree))
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def _crash_worker(*_args):  # module-level: must pickle into the pool
+    os._exit(13)
+
+
+@needs_shm
+class TestLifecycle:
+    def test_no_request_segments_after_completion(self, instance):
+        graph, weights, tree = instance
+        engine = ShardedEngine(max_workers=2, min_batch=1)
+        list(engine.failure_sweep(graph, 0, range(graph.num_edges)))
+        list(engine.weighted_failure_sweep(graph, weights, tree))
+        assert shm.active_segment_names("request") == []
+
+    def test_abandoned_generator_unlinks_request(self, instance):
+        """verify's max_violations early exit: close() after one item."""
+        graph, _, _ = instance
+        engine = ShardedEngine(max_workers=2, min_batch=1)
+        gen = engine.failure_sweep(graph, 0, list(range(graph.num_edges)))
+        next(gen)
+        names = shm.active_segment_names("request")
+        assert names  # the sweep's request segment is live mid-stream
+        gen.close()
+        assert shm.active_segment_names("request") == []
+        assert all(_fs_gone(name) for name in names)
+
+    def test_plane_unlinked_when_graph_collected(self):
+        graph = connected_gnp_graph(60, 0.1, seed=9)
+        plane = shm.graph_plane(graph)
+        name = plane.name
+        assert name in shm.active_segment_names("plane")
+        del plane, graph
+        gc.collect()
+        assert name not in shm.active_segment_names()
+        assert _fs_gone(name)
+
+    def test_tree_plane_unlinked_when_tree_collected(self):
+        graph = connected_gnp_graph(60, 0.1, seed=9)
+        weights = make_weights(graph, "random", seed=1)
+        tree = build_spt(graph, weights, 0)
+        plane = shm.tree_plane(graph, weights, tree)
+        name = plane.name
+        assert shm.tree_plane(graph, weights, tree) is plane  # cached
+        del plane, tree
+        gc.collect()
+        assert name not in shm.active_segment_names()
+        assert _fs_gone(name)
+
+    def test_plane_reused_across_sweeps(self, instance):
+        graph, _, _ = instance
+        engine = ShardedEngine(max_workers=2, min_batch=1)
+        list(engine.failure_sweep(graph, 0, range(graph.num_edges)))
+        planes_after_first = shm.active_segment_names("plane")
+        list(engine.failure_sweep(graph, 0, range(0, graph.num_edges, 2)))
+        assert shm.active_segment_names("plane") == planes_after_first
+
+    def test_worker_crash_recovers_and_leaks_nothing(self, instance, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        graph, _, _ = instance
+        engine = ShardedEngine(base="csr", max_workers=2, min_batch=1)
+        # Crash the worker body itself: the sweep's finally must still
+        # unlink its request segment, and the engine must replace the
+        # poisoned pool on the next sweep.
+        monkeypatch.setattr(shm, "_shm_sweep_shard", _crash_worker)
+        with pytest.raises(BrokenProcessPool):
+            list(engine.failure_sweep(graph, 0, range(graph.num_edges)))
+        assert shm.active_segment_names("request") == []
+        monkeypatch.undo()
+        eids = list(range(0, graph.num_edges, 4))
+        reference = list(get_engine("csr").failure_sweep(graph, 0, eids))
+        got = list(engine.failure_sweep(graph, 0, eids))
+        for ref, item in zip(reference, got):
+            assert distances_equal(ref, item)
+        assert shm.active_segment_names("request") == []
+
+    def test_eviction_keeps_live_views_mapped(self, instance):
+        """Use-after-unmap regression: an attachment evicted from the
+        LRU must stay mapped while façades still reference it (numpy
+        views do not pin a SharedMemory - reading one after its
+        segment's __del__ unmapped the buffer segfaulted the worker)."""
+        graph, _, _ = instance
+        plane = shm.publish_graph(graph)
+        shared, _, _ = shm.attach_plane(plane.handle)
+        view = shared._csr_cache.indptr
+        requests = []
+        for _ in range(2 * shm._ATTACH_CAP):  # force eviction
+            request = shm.publish_request(range(8))
+            shm.attach_request(request.handle)
+            requests.append(request)
+        gc.collect()
+        assert plane.handle.name not in shm._ATTACHED
+        assert int(view[-1]) == 2 * graph.num_edges
+        assert view.tolist() == csr_view(graph).indptr.tolist()
+        assert shared.adjacency(0) == graph.adjacency(0)
+        for request in requests:
+            request.unlink()
+        plane.unlink()
+
+    def test_release_segments_drops_everything(self):
+        graph = connected_gnp_graph(40, 0.15, seed=4)
+        shm.graph_plane(graph)
+        request = shm.publish_request([0, 1, 2])
+        assert shm.active_segment_names()
+        shm.release_segments()
+        assert shm.active_segment_names() == []
+        assert request.name not in shm.active_segment_names()
+        # a fresh plane publishes cleanly afterwards
+        plane = shm.graph_plane(graph)
+        assert plane is not None and plane.name in shm.active_segment_names()
+        shm.release_segments()
