@@ -1,0 +1,115 @@
+"""Thread-parallel engine benchmark: csr-mt vs csr wall-clock (PR 6).
+
+Times both failure sweeps on growing G(n, p) instances under the
+single-process csr engine and the thread-windowed ``csr-mt`` engine.
+There is nothing to transport - threads share the caller's memory - so
+csr-mt's fixed cost per window is one executor submit, and on
+multi-core hosts the GIL-releasing numpy kernels let windows genuinely
+overlap.  Asserted there: csr-mt must not regress the csr row (floor
+``_WALLCLOCK_FLOOR``).  Single-core containers record both rows without
+a floor (threads on one core only add scheduling) - the CI matrix
+demonstrates the gap.  Parity against csr is asserted row by row, so
+every timing doubles as a bit-identity certificate.  Saves
+``BENCH_threaded.json``.  Skips without numpy (csr-mt is gated out with
+the csr engine then, which the no-numpy CI job asserts).
+"""
+
+import os
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.engine import ThreadedEngine, distances_equal, get_engine
+from repro.graphs import connected_gnp_graph
+from repro.harness import ExperimentRecord, save_record
+from repro.spt.spt_tree import build_spt
+from repro.spt.weights import make_weights
+
+#: On hosts with real parallelism csr-mt must not lose to csr (it adds
+#: one submit per window and nothing else); allow generous noise.
+_WALLCLOCK_FLOOR = 0.8
+
+
+def _instances(quick: bool):
+    if quick:
+        return [(300, 10.0), (1200, 14.0)]
+    return [(1000, 14.0), (4000, 24.0)]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_threaded_sweeps_vs_csr(benchmark, quick_mode, bench_seed):
+    record = ExperimentRecord(
+        experiment_id="BENCH_threaded",
+        title="thread-parallel sweeps: csr-mt vs csr wall-clock",
+        params={
+            "quick": quick_mode,
+            "seed": bench_seed,
+            "cores": os.cpu_count() or 1,
+        },
+        columns=[
+            "n", "m",
+            "sweep_csr_s", "sweep_mt_s",
+            "wsweep_csr_s", "wsweep_mt_s",
+        ],
+    )
+    csr = get_engine("csr")
+    mt = ThreadedEngine(max_threads=2, min_batch=1)
+
+    for index, (n, deg) in enumerate(_instances(quick_mode)):
+        graph = connected_gnp_graph(n, deg / (n - 1), seed=bench_seed)
+        weights = make_weights(graph, "random", seed=bench_seed)
+        tree = build_spt(graph, weights, 0)
+        eids = list(range(graph.num_edges))
+
+        sweep_csr, ref = _timed(lambda: list(csr.failure_sweep(graph, 0, eids)))
+        if index == len(_instances(quick_mode)) - 1:
+            t0 = time.perf_counter()
+            got = benchmark.pedantic(
+                lambda: list(mt.failure_sweep(graph, 0, eids)),
+                rounds=1, iterations=1,
+            )
+            sweep_mt = time.perf_counter() - t0
+        else:
+            sweep_mt, got = _timed(lambda: list(mt.failure_sweep(graph, 0, eids)))
+        assert len(got) == len(ref)
+        for r, g in zip(ref, got):
+            assert distances_equal(r, g)
+
+        wsweep_csr, w_ref = _timed(
+            lambda: list(csr.weighted_failure_sweep(graph, weights, tree))
+        )
+        wsweep_mt, w_got = _timed(
+            lambda: list(mt.weighted_failure_sweep(graph, weights, tree))
+        )
+        assert w_got == w_ref
+
+        record.add_row(
+            n, graph.num_edges,
+            round(sweep_csr, 4), round(sweep_mt, 4),
+            round(wsweep_csr, 4), round(wsweep_mt, 4),
+        )
+        if not quick_mode and (os.cpu_count() or 1) >= 2:
+            assert sweep_mt <= sweep_csr / _WALLCLOCK_FLOOR, (
+                f"csr-mt regressed the unweighted sweep on n={n}: "
+                f"{sweep_mt:.3f}s vs csr {sweep_csr:.3f}s"
+            )
+            assert wsweep_mt <= wsweep_csr / _WALLCLOCK_FLOOR, (
+                f"csr-mt regressed the weighted sweep on n={n}: "
+                f"{wsweep_mt:.3f}s vs csr {wsweep_csr:.3f}s"
+            )
+
+    record.note(
+        "csr-mt at 2 threads, min_batch 1 (forced windowing).  floors "
+        "asserted only on multi-core, full-size runs; single-core hosts "
+        "record both rows (threads only add scheduling there)."
+    )
+    print()
+    print(record.render())
+    save_record(record)

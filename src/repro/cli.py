@@ -17,11 +17,15 @@ Subcommands
 ``quickstart``
     A tiny end-to-end demo.
 ``engines``
-    List the registered traversal engines (see :mod:`repro.engine`).
+    List the registered traversal engines (see :mod:`repro.engine`),
+    including each engine's thread budget and which shared-memory plane
+    segments its transport publishes.
 
 ``run``, ``build`` and ``quickstart`` accept ``--engine {python,csr}``
 to pin the traversal engine for the whole invocation; otherwise the
-``REPRO_ENGINE`` environment variable / registry default applies.
+``REPRO_ENGINE`` environment variable / registry default applies.  The
+full environment-variable surface is listed in ``repro --help`` (the
+epilog below mirrors the README table).
 """
 
 from __future__ import annotations
@@ -53,6 +57,25 @@ from repro.util.timing import format_seconds
 __all__ = ["main", "build_parser"]
 
 
+#: Environment variables honored by the toolkit (``repro --help`` epilog;
+#: keep in sync with the README's table).
+_ENV_VAR_HELP = """\
+environment variables:
+  REPRO_ENGINE           default traversal engine (same values as --engine)
+  REPRO_SHM              0 disables the shared-memory shard transport
+                         (sharded sweeps fall back to pickled payloads)
+  REPRO_SHARD_THRESHOLD  edge count above which verification auto-upgrades
+                         to a parallel engine (default 100000 when shared
+                         memory or csr-mt is available, else 200000)
+  REPRO_SHARD_MIN_BATCH  minimum failures per shard/window (defaults:
+                         16 sharded+shm, 64 sharded+pickle, 8 csr-mt)
+  REPRO_MAX_WORKERS      worker-process budget for sharded sweeps and
+                         --jobs 0 (default: cores - 1)
+  REPRO_THREADS          thread budget for the csr-mt engine
+                         (default: the REPRO_MAX_WORKERS worker default)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Fault Tolerant BFS structures: a reinforcement-backup tradeoff "
             "(Parter & Peleg, SPAA 2015) - reproduction toolkit"
         ),
+        epilog=_ENV_VAR_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command")
@@ -132,6 +157,8 @@ def _cmd_engines() -> int:
         print(f"  {'':<8}   replacement: {engine.replacement_backend}")
         print(f"  {'':<8}   detours: {engine.detour_backend}")
         print(f"  {'':<8}   transport: {engine.transport}")
+        print(f"  {'':<8}   threads: {engine.threads}")
+        print(f"  {'':<8}   segments: {engine.plane_segments}")
     print(f"select with --engine, ${ENGINE_ENV_VAR}, or repro.engine.set_default_engine")
     return 0
 

@@ -23,12 +23,14 @@ the csr engine each sweep reuses a single base BFS tree and recomputes
 only the subtree hanging under a failed tree edge, which is what makes
 ``verify_structure`` fast at scale; the python engine runs the historical
 two-BFS-per-failure loop.  Graphs above ``REPRO_SHARD_THRESHOLD`` edges
-(default 100000 under the shared-memory shard transport, 200000 when
-only the pickle transport exists) are
-automatically verified under the process-sharded engine
-(:mod:`repro.engine.sharded`), which splits each sweep across
-worker processes.  Verdicts, counts, and violations are bit-identical
-across engines — sharded included (enforced by the parity tests).
+(default 100000 when a zero-copy parallel runner exists - the
+shared-memory shard transport or the thread-parallel ``csr-mt`` engine -
+200000 when only the pickle transport does) are automatically verified
+under a parallel engine: process-sharded sweeps
+(:mod:`repro.engine.sharded`) when the shm transport is available, else
+thread-windowed sweeps (:mod:`repro.engine.threaded`).  Verdicts,
+counts, and violations are bit-identical across engines — parallel
+wrappers included (enforced by the parity tests).
 
 It also exposes :func:`unprotected_edges`, the measured set the paper
 calls ``E_miss(H)`` - handy for evaluating *any* candidate subgraph, not
@@ -92,46 +94,58 @@ class VerificationReport:
             )
 
 
-#: Edge count above which verification auto-upgrades to the sharded engine.
+#: Edge count above which verification auto-upgrades to a parallel engine.
 SHARD_THRESHOLD_ENV_VAR = "REPRO_SHARD_THRESHOLD"
 
 #: Pickle transport: each shard re-pickles and rebuilds the whole graph,
 #: so sharding only pays on very large sweeps (the historical default).
 _DEFAULT_SHARD_THRESHOLD = 200_000
 
-#: Shared-memory transport (PR 5): shard payloads are O(1) instead of a
-#: full graph pickle and the base traversal is memoized per worker (see
-#: ``benchmarks/bench_sharded.py``), so sharding breaks even at roughly
-#: half the pickle transport's edge count.
+#: Zero-fixed-cost sweeps (PR 6): under the shared-memory transport the
+#: shard payload is O(1) and all per-sweep state (the base traversal,
+#: the weighted setup) arrives through the plane or is memoized per
+#: (plane, request), and the threaded engine has no transport at all -
+#: either way parallel sweeps break even at roughly half the pickle
+#: transport's edge count (see ``benchmarks/bench_sharded.py``).
 _DEFAULT_SHARD_THRESHOLD_SHM = 100_000
 
 
 def _default_shard_threshold() -> int:
-    """The auto-upgrade default for whichever transport sweeps would use."""
+    """The auto-upgrade default for whichever runner sweeps would use."""
     from repro.engine import shm
+    from repro.engine.registry import available_engines
 
-    return (
-        _DEFAULT_SHARD_THRESHOLD_SHM
-        if shm.transport_enabled()
-        else _DEFAULT_SHARD_THRESHOLD
-    )
+    if shm.transport_enabled() or "csr-mt" in available_engines():
+        return _DEFAULT_SHARD_THRESHOLD_SHM
+    return _DEFAULT_SHARD_THRESHOLD
 
 
 def _resolve_engine(graph: Graph, engine: Optional[str]):
-    """The engine to verify under: explicit > sharded-if-large > default.
+    """The engine to verify under: explicit > parallel-if-large > default.
 
-    The upgrade only changes *where* sweeps run, never their values (the
-    sharded engine is bit-identical to its base by construction), so the
-    report is the same either way.
+    Large graphs upgrade to the process-sharded engine when the
+    shared-memory transport is available (isolated per-core memory
+    bandwidth, zero-copy attach), else to the thread-parallel ``csr-mt``
+    engine when registered (zero-copy without any transport - exactly
+    the regime where the sharded engine would be stuck re-pickling the
+    graph per shard), else to sharded-over-pickle.  The upgrade only
+    changes *where* sweeps run, never their values (both wrappers are
+    bit-identical to their base by construction), so the report is the
+    same either way.
     """
     eng = get_engine(engine)
-    if engine is not None or eng.name == "sharded":
+    if engine is not None or getattr(eng, "parallel_sweeps", False):
         return eng
     threshold = env_int(SHARD_THRESHOLD_ENV_VAR, _default_shard_threshold())
     if graph.num_edges >= threshold:
+        from repro.engine import shm
+        from repro.engine.registry import available_engines
+
         try:
+            if not shm.transport_enabled() and "csr-mt" in available_engines():
+                return get_engine("csr-mt")
             return get_engine("sharded")
-        except Exception:  # pragma: no cover - sharded is always registered
+        except Exception:  # pragma: no cover - both are always registered
             return eng
     return eng
 
@@ -147,17 +161,18 @@ def _two_sided_sweep(
     """``(base_g, base_h, pairs)`` for the oracle's two sweep sides.
 
     ``pairs(candidates)`` yields ``(eid, dist_g, dist_h)`` per failure.
-    In-process engines go through one shared sweep handle per side, so
-    the base traversal is computed exactly once and reused by every
-    failure.  The sharded engine streams both sides through its
-    process-fanned ``failure_sweep`` instead — each side gets a
+    Plain in-process engines go through one shared sweep handle per
+    side, so the base traversal is computed exactly once and reused by
+    every failure.  Parallel engines (``parallel_sweeps`` - the sharded
+    process fanout and the thread-windowed csr-mt) stream both sides
+    through their own ``failure_sweep`` instead — each side gets a
     half-budget copy so the two concurrently consumed sweeps share the
-    machine's worker budget rather than doubling it; callers that never
-    look at the structure-side base (``unprotected_edges``) pass
-    ``need_base_h=False`` to skip that traversal.  Values are identical
-    either way (sharding never affects results).
+    machine's worker/thread budget rather than doubling it; callers
+    that never look at the structure-side base (``unprotected_edges``)
+    pass ``need_base_h=False`` to skip that traversal.  Values are
+    identical either way (parallelism never affects results).
     """
-    if eng.name == "sharded":
+    if getattr(eng, "parallel_sweeps", False):
         base_g = eng.distances(graph, source)
         base_h = (
             eng.distances(graph, source, allowed_edges=h_edges)

@@ -45,17 +45,26 @@ Built-in engines
     (:mod:`repro.engine.sharded`); bit-identical to the base, used for
     large graphs and never the implicit default.  Shard inputs travel
     through the shared-memory graph plane (:mod:`repro.engine.shm`):
-    the CSR view / weights / tree arrays are published once per sweep
-    and workers attach zero-copy, with a pickle fallback when shared
+    the CSR view / weights / tree arrays are published once per graph or
+    tree, each sweep adds tiny request and base-state segments, and
+    workers attach zero-copy, with a pickle fallback when shared
     memory or numpy is unavailable.  Engines report their transport
-    via ``transport`` (shown by ``repro engines``).
+    via ``transport`` (shown by ``repro engines``, along with their
+    ``threads`` budget and published ``plane_segments``).
+``"csr-mt"``
+    Thread-parallel ``failure_sweep`` windows over the csr kernels
+    inside one process (:mod:`repro.engine.threaded`); zero-copy by
+    construction - no pickling or shared-memory segments at all - and
+    bit-identical to csr.  Registered only when numpy imports (the
+    kernels' GIL-releasing array passes are what make threads pay);
+    never the implicit default.
 
 Selection
 ---------
 Explicit ``engine=`` keyword > :func:`engine_context` /
 :func:`set_default_engine` > the ``REPRO_ENGINE`` environment variable >
 ``"csr"`` if available else ``"python"``.  The CLI exposes the same
-choice as ``repro engines`` and ``--engine {python,csr}``; parallel
+choice as ``repro engines`` and ``--engine {python,csr,...}``; parallel
 sweep workers honor :class:`repro.harness.parallel.SweepTask.engine`.
 """
 
@@ -78,9 +87,11 @@ from repro.engine.registry import (
     set_default_engine,
 )
 from repro.engine.sharded import ShardedEngine
+from repro.engine.threaded import ThreadedEngine
 
 __all__ = [
     "ShardedEngine",
+    "ThreadedEngine",
     "UNREACHABLE",
     "ReplacementSweepItem",
     "SweepHandle",

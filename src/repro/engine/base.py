@@ -157,6 +157,23 @@ class TraversalEngine:
     #: (shared-memory plane vs pickle, see :mod:`repro.engine.shm`).
     transport: str = "in-process"
 
+    #: How many concurrent executors the engine's sweeps run on
+    #: (``repro engines`` reports it).  Single-process engines run the
+    #: caller's one thread; the sharded/threaded engines override this
+    #: with their resolved worker/thread budget.
+    threads: str = "1 (the calling thread)"
+
+    #: Which shared-memory plane segments the engine publishes for its
+    #: sweeps (``repro engines`` reports it; see :mod:`repro.engine.shm`
+    #: for the graph / tree / base-state / request segment kinds).
+    plane_segments: str = "none (in-process memory)"
+
+    #: Whether ``failure_sweep``/``weighted_failure_sweep`` fan out over
+    #: parallel executors.  The verification oracle streams its two
+    #: sweep sides through ``failure_sweep`` (with a ``halved()`` budget
+    #: each) on such engines instead of sharing per-side sweep handles.
+    parallel_sweeps: bool = False
+
     # -- unweighted (hop) traversals -----------------------------------
     def distances(
         self,

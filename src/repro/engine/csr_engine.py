@@ -62,7 +62,7 @@ from repro.engine.weighted_kernels import (
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
-__all__ = ["CSREngine"]
+__all__ = ["CSREngine", "PreparedWeightedSweep"]
 
 #: Cap on stacked state entries (``B * n``) per chunk; bounds the five
 #: int64 state arrays of a stacked run at ~16 MB regardless of how many
@@ -220,6 +220,27 @@ class CSREngine(PythonEngine):
         csr = csr_view(graph)
         edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
         return FailureSweep(csr, source, edge_ok=edge_ok)
+
+    def sweep_from_base_state(
+        self,
+        graph: Graph,
+        source: Vertex,
+        arrays,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> FailureSweep:
+        """A :meth:`sweep` handle rebuilt from published base-state arrays.
+
+        The shm worker bodies call this instead of :meth:`sweep` when the
+        parent shipped the base traversal through the base-state segment:
+        construction skips the BFS + Euler walk, so a shard's fixed cost
+        is O(1) in graph size.  ``arrays`` must come from a handle over
+        the same ``(graph, source, allowed_edges)`` sweep.
+        """
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
+        return FailureSweep.from_base_state(csr, source, arrays, edge_ok=edge_ok)
 
     # -- weighted traversals (array fast path + reference fallback) ----
     def shortest_paths(
@@ -534,17 +555,58 @@ class CSREngine(PythonEngine):
         edge_list = list(eids) if eids is not None else tree.tree_edges()
         if not edge_list:
             return
-        export = weights.pert_array()
-        plan0 = weighted_plan(graph, weights)
-        if plan0 is None or export is None:
+        prepared = self.prepared_weighted_sweep(graph, weights, tree, edge_list)
+        if prepared is None:
             yield from super().weighted_failure_sweep(
                 graph, weights, tree, eids=edge_list
             )
             return
-        n = graph.num_vertices
-        # Per-vertex tree metadata, decomposed once for the whole sweep.
-        pert0_list = tree.dist_perturbations(weights)
-        max_pert0 = max(pert0_list, default=0)
+        yield from prepared.items(0, len(edge_list))
+
+    def prepared_weighted_sweep(
+        self,
+        graph: Graph,
+        weights,
+        tree,
+        eids: Sequence[EdgeId],
+    ) -> Optional["PreparedWeightedSweep"]:
+        """The sweep's setup as a reusable, slice-runnable state object.
+
+        Everything ``weighted_failure_sweep`` derives per call - the
+        gated perturbation plan, the tree's int64 hop/pert decomposition
+        and Euler arrays, the edge -> deeper-endpoint map, and the
+        per-subtree expansion sizes - computed once and captured in a
+        :class:`PreparedWeightedSweep` whose ``items(lo, hi)`` runs any
+        contiguous slice of the request.  Shard runners build this once
+        per ``(plane, request)`` (the shm workers memoize it, the
+        threaded engine shares it across its windows - ``items`` is
+        thread-safe, every mutable buffer is allocated per call) instead
+        of paying the O(n) setup per shard.  None when the plan gating
+        fails; callers fall back to the reference loops.
+        """
+        edge_list = list(eids)
+        export = weights.pert_array()
+        if export is None or weighted_plan(graph, weights) is None:
+            return None
+        csr = csr_view(graph)
+        base = getattr(tree, "_base_state", None)
+        if base is not None:
+            # Attached shm façade: the decomposition arrays are already
+            # mapped - zero-copy, no big-int pass, no list conversions.
+            hop0, pert0 = base["hop"], base["pert"]
+            tin, tout, preorder = base["tin"], base["tout"], base["preorder"]
+            parent_eid = base["parent_eid"]
+            max_pert0 = int(pert0.max()) if pert0.size else 0
+        else:
+            # Per-vertex tree metadata, decomposed once for the sweep.
+            pert0_list = tree.dist_perturbations(weights)
+            max_pert0 = max(pert0_list, default=0)
+            hop0 = np.asarray(tree.depth, dtype=np.int64)
+            pert0 = np.asarray(pert0_list, dtype=np.int64)
+            tin = np.asarray(tree.tin, dtype=np.int64)
+            tout = np.asarray(tree.tout, dtype=np.int64)
+            preorder = np.asarray(tree.preorder, dtype=np.int64)
+            parent_eid = np.asarray(tree.parent_eid, dtype=np.int64)
         # Re-gate with the largest possible crossing-edge seed: the plan
         # must prove seed + path perturbations never carry into the hop
         # bits, exactly as the per-call seeded path does.
@@ -552,48 +614,28 @@ class CSREngine(PythonEngine):
             graph, weights, max_seed_pert=max_pert0 + export[1]
         )
         if perts is None:
-            yield from super().weighted_failure_sweep(
-                graph, weights, tree, eids=edge_list
-            )
-            return
-        csr = csr_view(graph)
-        hop0 = np.asarray(tree.depth, dtype=np.int64)
-        pert0 = np.asarray(pert0_list, dtype=np.int64)
-        tin = np.asarray(tree.tin, dtype=np.int64)
-        tout = np.asarray(tree.tout, dtype=np.int64)
-        preorder = np.asarray(tree.preorder, dtype=np.int64)
-        child_of = {
-            tree.parent_eid[v]: v for v in tree.preorder if v != tree.source
-        }
-        children = [
-            child_of[eid] if eid in child_of else tree.edge_child(eid)
-            for eid in edge_list  # edge_child raises for non-tree edges
-        ]
+            return None
+        # edge -> deeper endpoint, vectorized over parent_eid (every
+        # reachable non-source vertex names its parent edge exactly once).
+        m = csr.num_edges
+        child_of_eid = np.full(m, -1, dtype=np.int64)
+        verts = np.flatnonzero(parent_eid >= 0)
+        child_of_eid[parent_eid[verts]] = verts
+        children: List[Vertex] = []
+        for eid in edge_list:
+            child = int(child_of_eid[eid]) if 0 <= eid < m else -1
+            if child < 0:
+                child = tree.edge_child(eid)  # raises: not a tree edge
+            children.append(child)
         # Chunk by subtree expansion: prefix sums of the preorder-ordered
         # degrees give each failed subtree's half-edge count in O(1).
         deg_pre = (csr.indptr[1:] - csr.indptr[:-1])[preorder]
         cum = np.concatenate([[0], np.cumsum(deg_pre)])
         sizes = [int(cum[tout[c]] - cum[tin[c]]) for c in children]
-        max_batch = max(1, _STACK_STATE // max(1, n))
-        chunks = list(_stream_chunks(sizes, _STACK_STREAM, max_batch))
-        # One state buffer for the whole sweep: subtree layers only ever
-        # touch their own vertices, so each chunk resets exactly the
-        # positions it wrote instead of paying an O(B * n) allocation.
-        size = max(hi - lo for lo, hi in chunks) * n
-        state = (
-            np.zeros(size, dtype=bool),
-            np.full(size, -1, dtype=np.int64),
-            np.empty(size, dtype=np.int64),
-            np.empty(size, dtype=np.int64),
-            np.empty(size, dtype=np.int64),
-            np.zeros(size, dtype=bool),  # the allowed mask, same regime
+        return PreparedWeightedSweep(
+            self, csr, weights, perts, edge_list, children, sizes,
+            hop0, pert0, tin, tout, preorder,
         )
-        for lo, hi in chunks:
-            yield from self._sweep_chunk(
-                csr, weights, perts,
-                edge_list[lo:hi], children[lo:hi],
-                hop0, pert0, tin, tout, preorder, state,
-            )
 
     def _sweep_chunk(
         self,
@@ -687,3 +729,70 @@ class CSREngine(PythonEngine):
         settled[touched] = False
         hop[touched] = -1
         allowed_ok[touched] = False
+
+
+class PreparedWeightedSweep:
+    """One weighted failure sweep's setup, runnable slice by slice.
+
+    Built by :meth:`CSREngine.prepared_weighted_sweep`; immutable after
+    construction.  ``items(lo, hi)`` yields the replacement items of the
+    request slice ``edge_list[lo:hi]``, bit-identical to running the
+    whole sweep and slicing its output (chunk boundaries never affect
+    values).  Concurrent ``items`` calls are safe: the shared arrays are
+    read-only, and the chunk state buffers are allocated per call.
+    """
+
+    __slots__ = (
+        "_engine", "csr", "weights", "perts", "edge_list", "children",
+        "sizes", "hop0", "pert0", "tin", "tout", "preorder",
+    )
+
+    def __init__(
+        self, engine, csr, weights, perts, edge_list, children, sizes,
+        hop0, pert0, tin, tout, preorder,
+    ) -> None:
+        self._engine = engine
+        self.csr = csr
+        self.weights = weights
+        self.perts = perts
+        self.edge_list = edge_list
+        self.children = children
+        self.sizes = sizes
+        self.hop0 = hop0
+        self.pert0 = pert0
+        self.tin = tin
+        self.tout = tout
+        self.preorder = preorder
+
+    def __len__(self) -> int:
+        return len(self.edge_list)
+
+    def items(self, lo: int, hi: int) -> Iterator[ReplacementSweepItem]:
+        """Replacement items for the request slice ``[lo, hi)``."""
+        eids = self.edge_list[lo:hi]
+        if not eids:
+            return
+        children = self.children[lo:hi]
+        sizes = self.sizes[lo:hi]
+        n = self.csr.num_vertices
+        max_batch = max(1, _STACK_STATE // max(1, n))
+        chunks = list(_stream_chunks(sizes, _STACK_STREAM, max_batch))
+        # One state buffer for the whole slice: subtree layers only ever
+        # touch their own vertices, so each chunk resets exactly the
+        # positions it wrote instead of paying an O(B * n) allocation.
+        size = max(c_hi - c_lo for c_lo, c_hi in chunks) * n
+        state = (
+            np.zeros(size, dtype=bool),
+            np.full(size, -1, dtype=np.int64),
+            np.empty(size, dtype=np.int64),
+            np.empty(size, dtype=np.int64),
+            np.empty(size, dtype=np.int64),
+            np.zeros(size, dtype=bool),  # the allowed mask, same regime
+        )
+        for c_lo, c_hi in chunks:
+            yield from self._engine._sweep_chunk(
+                self.csr, self.weights, self.perts,
+                eids[c_lo:c_hi], children[c_lo:c_hi],
+                self.hop0, self.pert0, self.tin, self.tout, self.preorder,
+                state,
+            )

@@ -55,6 +55,11 @@ def _ensure_builtins() -> None:
     except ImportError:  # numpy unavailable: the fast backend is gated out
         return
     register_engine(CSREngine())
+    # The thread-parallel wrapper only pays on the GIL-releasing numpy
+    # kernels, so it is gated out with them.
+    from repro.engine.threaded import ThreadedEngine
+
+    register_engine(ThreadedEngine())
 
 
 def register_engine(engine: TraversalEngine) -> None:

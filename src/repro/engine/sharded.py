@@ -20,10 +20,15 @@ Shard inputs travel one of two ways:
   :mod:`repro.engine.shm`): the graph's CSR view - plus the weight
   perturbations and tree arrays for the weighted sweep - is published
   once per graph/tree into a shared segment and the sweep's edge-id
-  request into a second, per-sweep segment; each shard then submits
-  only ``(plane handle, request handle, lo, hi)``, O(1) bytes in graph
-  size.  Workers attach zero-copy; for the unweighted sweep they also
-  memoize the base traversal per sweep, so a shard's fixed cost is
+  request into a second, per-sweep segment; the unweighted sweep adds a
+  third per-sweep segment carrying the parent's precomputed *base
+  state* (base distances/parents plus the Euler arrays), so workers
+  rebuild their sweep handle in O(1) instead of re-running the base
+  traversal.  Each shard then submits only ``(plane handle, request
+  handle, base-state handle, lo, hi)``, O(1) bytes in graph size.
+  Workers attach zero-copy and memoize all per-sweep state - the
+  rebuilt unweighted handle and the weighted sweep's prepared setup
+  alike - keyed on ``(plane, request)``, so a shard's fixed cost is
   just its slice of failures.
 * **pickle** (fallback): the historical path - every shard re-pickles
   the graph (plus weights and tree for the weighted sweep).  Used when
@@ -37,11 +42,13 @@ across sweeps, marked with ``REPRO_IN_WORKER`` so nested parallel
 primitives degrade to their serial form instead of oversubscribing).
 Small sweeps - fewer than ``min_batch`` failures per prospective worker
 - and sweeps already running inside a pool worker degrade to the base
-engine in-process.  For the unweighted sweep ``min_batch`` defaults to
-16 under the shared-memory transport (the memoized base traversal is
-the only per-shard fixed cost) and 64 under pickle (each shard also
-re-ships and re-builds the graph); the weighted sweep keeps 64 on both
-transports (its per-shard O(n) setup is not memoized).
+engine in-process.  Both sweeps share ``min_batch`` defaults of 16
+under the shared-memory transport and 64 under pickle (each shard
+re-ships and re-builds the graph there, so it needs a large slice to
+amortize).  The shm default used to apply only to the unweighted sweep;
+with the weighted per-shard setup now memoized per ``(plane, request)``
+in the worker (``shm._weighted_sweep_state``), neither sweep has an
+O(n) per-shard term left and both ride the fine-shard economics.
 ``REPRO_SHARD_MIN_BATCH`` overrides every default.  The verification oracle
 auto-upgrades to this engine for graphs above ``REPRO_SHARD_THRESHOLD``
 edges (see :mod:`repro.core.verify`).
@@ -70,9 +77,11 @@ SHARD_MIN_BATCH_ENV_VAR = "REPRO_SHARD_MIN_BATCH"
 #: it needs a large slice to amortize.
 _DEFAULT_MIN_BATCH = 64
 
-#: Shared-memory transport: the payload is O(1) and the worker's base
-#: traversal is memoized per sweep, so much finer shards pay off
-#: (re-derived in ``benchmarks/bench_sharded.py``).
+#: Shared-memory transport: the payload is O(1), the unweighted base
+#: state arrives prebuilt through the base-state segment, and the
+#: weighted setup is memoized per (plane, request) - no per-shard fixed
+#: cost on either sweep, so much finer shards pay off (re-derived in
+#: ``benchmarks/bench_sharded.py``).
 _DEFAULT_MIN_BATCH_SHM = 16
 
 
@@ -211,6 +220,7 @@ class ShardedEngine(TraversalEngine):
     """Wrap a single-process engine, sharding ``failure_sweep`` across processes."""
 
     name = "sharded"
+    parallel_sweeps = True
 
     def __init__(
         self,
@@ -307,6 +317,32 @@ class ShardedEngine(TraversalEngine):
         if enabled:
             return "shared-memory plane (pickle fallback)"
         return "pickle (shared memory unavailable)"
+
+    @property
+    def threads(self) -> str:
+        """Resolved worker budget (``repro engines`` prints it)."""
+        from repro.harness.parallel import (
+            MAX_WORKERS_ENV_VAR,
+            default_worker_count,
+        )
+
+        workers = (
+            self._max_workers
+            if self._max_workers is not None
+            else default_worker_count()
+        )
+        return f"{workers} worker processes x 1 thread (${MAX_WORKERS_ENV_VAR})"
+
+    @property
+    def plane_segments(self) -> str:
+        """Which shm segments this engine's sweeps publish."""
+        from repro.engine import shm
+
+        if self._transport == "pickle" or not shm.transport_enabled():
+            return "none (shard inputs pickled per shard)"
+        return (
+            "graph/tree plane (per object) + request + base-state (per sweep)"
+        )
 
     def halved(self) -> "ShardedEngine":
         """A copy capped at half this engine's worker budget.
@@ -405,7 +441,17 @@ class ShardedEngine(TraversalEngine):
             if plane is None:
                 return None
             request = shm.publish_request(eid_list, allowed_edges, source)
-            return None if request is None else (shm, plane, request)
+            if request is None:
+                return None
+            # Ship the base traversal too: the parent computes it once
+            # and every worker rebuilds its sweep handle in O(1) from
+            # the mapped arrays instead of re-running an O(n + m) BFS.
+            # None (reference base engine, exhausted /dev/shm) degrades
+            # to the historical per-worker memoized traversal.
+            base_state = shm.publish_base_state(
+                base.sweep(graph, source, allowed_edges=allowed_edges)
+            )
+            return shm, plane, request, base_state
 
         yield from self._transport_stream(
             len(eid_list), workers, min_batch, use_shm, base.name,
@@ -450,13 +496,15 @@ class ShardedEngine(TraversalEngine):
                     "assignment has no fixed-width export "
                     f"(scheme {weights.scheme!r})"
                 )
-        # The weighted sweep keeps the pickle-sized min_batch even under
-        # shm: unlike the unweighted path (whose base traversal is
-        # memoized per sweep in the worker), every weighted shard pays
-        # the engine's O(n) sweep setup (dist decomposition, Euler
-        # conversions), so a shard still needs a large slice to
-        # amortize.  The shm transport's win here is the O(1) payload.
-        min_batch = self._effective_min_batch(shm=False)
+        # Under shm the weighted sweep now shares the unweighted path's
+        # fine-shard economics: the per-sweep setup (plan gating, dist
+        # decomposition, Euler conversions, the edge->child map) is
+        # memoized per (plane, request) in the worker - zero-copy off
+        # the plane's mapped arrays - so a shard's only cost is its own
+        # slice.  Historically this line forced the pickle-sized batch
+        # on both transports because every shard rebuilt that O(n)
+        # setup from the façade's Python lists.
+        min_batch = self._effective_min_batch(shm=use_shm)
         workers = self._plan(len(edge_list), min_batch)
         if workers <= 1:
             yield from base.weighted_failure_sweep(
@@ -470,7 +518,12 @@ class ShardedEngine(TraversalEngine):
             if plane is None:
                 return None
             request = shm.publish_request(edge_list)
-            return None if request is None else (shm, plane, request)
+            if request is None:
+                return None
+            # No separate base-state segment: the weighted base state
+            # (hop/pert decomposition, Euler arrays) already rides the
+            # tree plane; workers memoize their prepared setup off it.
+            return shm, plane, request, None
 
         yield from self._transport_stream(
             len(edge_list), workers, min_batch, use_shm, base.name,
@@ -500,22 +553,25 @@ class ShardedEngine(TraversalEngine):
     ) -> Iterator:
         """Run one sweep through whichever transport is viable.
 
-        ``publish`` returns ``(shm module, plane, request)`` or None;
-        on None (transport off or publish failed, e.g. ``/dev/shm``
-        exhausted) the sweep re-plans under pickle economics - its
-        per-shard fixed cost is O(m), so shm-sized shards would violate
-        the ``min_batch`` contract - degrading to ``in_process`` when
-        the re-plan no longer justifies a pool.  The request segment is
-        unlinked when the stream completes or is abandoned.  On
-        abandonment a just-started shard may lose the attach race and
-        fail with FileNotFoundError - harmless by construction: its
-        future was already discarded with the generator (normal
-        completion has no such race; every future was drained first).
+        ``publish`` returns ``(shm module, plane, request, base_state)``
+        - ``base_state`` a :class:`~repro.engine.shm.SweepBaseState` or
+        None - or None altogether; on None (transport off or publish
+        failed, e.g. ``/dev/shm`` exhausted) the sweep re-plans under
+        pickle economics - its per-shard fixed cost is O(m), so
+        shm-sized shards would violate the ``min_batch`` contract -
+        degrading to ``in_process`` when the re-plan no longer justifies
+        a pool.  The request and base-state segments are unlinked when
+        the stream completes or is abandoned.  On abandonment a
+        just-started shard may lose the attach race and fail with
+        FileNotFoundError - harmless by construction: its future was
+        already discarded with the generator (normal completion has no
+        such race; every future was drained first).
         """
         if use_shm:
             published = publish()
             if published is not None:
-                shm, plane, request = published
+                shm, plane, request, base_state = published
+                base_handle = None if base_state is None else base_state.handle
                 worker_fn = getattr(shm, shm_worker_name)
                 try:
                     yield from self._stream_shards(
@@ -523,11 +579,14 @@ class ShardedEngine(TraversalEngine):
                         workers,
                         lambda pool, lo, hi: pool.submit(
                             worker_fn,
-                            plane.handle, request.handle, lo, hi, base_name,
+                            plane.handle, request.handle, base_handle,
+                            lo, hi, base_name,
                         ),
                     )
                 finally:
                     request.unlink()
+                    if base_state is not None:
+                        base_state.unlink()
                 return
             if self._transport == "shm":  # forced shm never falls back
                 raise EngineError(

@@ -9,7 +9,7 @@ the big arrays **once** into a ``multiprocessing.shared_memory`` segment
 and ships only a tiny picklable handle; workers attach the segment
 zero-copy and rebuild light façades around the mapped arrays.
 
-Two kinds of segment exist, with different lifetimes:
+Three kinds of segment exist, with different lifetimes:
 
 ``plane`` (:class:`SharedGraphPlane`)
     The per-*object* segment: the graph's cached CSR view (``indptr`` /
@@ -29,6 +29,16 @@ Two kinds of segment exist, with different lifetimes:
     handle, lo, hi)`` - O(1) in graph size.  The sharded engine unlinks
     the request when the sweep generator completes or is abandoned.
 
+``base`` (:class:`SweepBaseState`)
+    The per-*sweep* base-state segment (unweighted sweeps): the parent's
+    precomputed base traversal - distances, parents, parent edge ids,
+    and the Euler ``tin``/``tout``/``preorder`` arrays of the base BFS
+    tree (see ``FailureSweep.base_state``).  Workers rebuild their sweep
+    handle from the mapped arrays in O(1) instead of re-running the
+    O(n + m) base BFS per worker, which is what drops a shard's fixed
+    cost to O(shard) and lets the sharded engine use its finest batch
+    sizes.  Same lifetime as the request segment.
+
 Worker side, :func:`attach_plane` maps the segment (untracked, so the
 resource tracker never double-unlinks a parent-owned name) and builds:
 
@@ -47,7 +57,12 @@ resource tracker never double-unlinks a parent-owned name) and builds:
 
 Attachments are cached per worker (keyed by segment name, small LRU),
 so a persistent pool worker attaches once per plane and amortizes the
-façade build over every shard it runs.  Everything in this module
+façade build over every shard it runs.  Per-sweep state is memoized the
+same way for *both* sweep kinds: the unweighted worker's sweep handle
+(rebuilt from the base segment, or computed once as a fallback) and the
+weighted worker's :class:`~repro.engine.csr_engine.PreparedWeightedSweep`
+setup are keyed on ``(plane, request, engine)``, so every shard after a
+sweep's first pays only its own slice.  Everything in this module
 degrades gracefully: :func:`transport_enabled` is False without numpy
 or ``multiprocessing.shared_memory`` (or under ``REPRO_SHM=0``), and
 publish failures (e.g. an exhausted ``/dev/shm``) return None so the
@@ -72,14 +87,17 @@ __all__ = [
     "PlaneHandle",
     "RequestHandle",
     "RequestView",
+    "BaseStateHandle",
     "SharedGraphPlane",
     "SweepRequest",
+    "SweepBaseState",
     "SharedGraph",
     "publish_graph",
     "publish_tree",
     "graph_plane",
     "tree_plane",
     "publish_request",
+    "publish_base_state",
     "attach_plane",
     "attach_request",
     "active_segment_names",
@@ -107,8 +125,8 @@ def transport_enabled() -> bool:
 # segment plumbing (publisher side)
 # ----------------------------------------------------------------------
 #: Segments this process created and has not yet unlinked: name ->
-#: (SharedMemory, kind).  Kind is "plane" or "request"; the lifecycle
-#: tests assert on this registry.
+#: (SharedMemory, kind).  Kind is "plane", "request" or "base"; the
+#: lifecycle tests assert on this registry.
 _OWNED: Dict[str, Tuple[object, str]] = {}
 
 #: Errors a publish may legitimately hit (shm exhausted, too large, ...);
@@ -238,6 +256,14 @@ class RequestHandle:
     has_allowed: bool = False
 
 
+@dataclass(frozen=True)
+class BaseStateHandle:
+    """Picklable description of one sweep's base-state segment."""
+
+    name: str
+    fields: Tuple[Tuple[str, int, int], ...]
+
+
 class SharedGraphPlane:
     """A published plane segment; the parent-side owner object."""
 
@@ -257,6 +283,21 @@ class SweepRequest:
     """A published per-sweep request segment (eids + allowed mask)."""
 
     def __init__(self, seg, handle: RequestHandle) -> None:
+        self._seg = seg
+        self.handle = handle
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    def unlink(self) -> None:
+        _unlink_segment(self.handle.name)
+
+
+class SweepBaseState:
+    """A published per-sweep base-state segment (the parent's base sweep)."""
+
+    def __init__(self, seg, handle: BaseStateHandle) -> None:
         self._seg = seg
         self.handle = handle
 
@@ -374,6 +415,28 @@ def publish_request(
         has_allowed=allowed_edges is not None,
     )
     return SweepRequest(seg, handle)
+
+
+def publish_base_state(sweep_handle) -> Optional[SweepBaseState]:
+    """Publish an unweighted sweep's precomputed base-state arrays.
+
+    ``sweep_handle`` is the parent's :class:`SweepHandle`; only handles
+    exposing ``base_state()`` (the csr :class:`FailureSweep`) can ship -
+    anything else (the reference engine's lazy handle) returns None and
+    workers compute (and memoize) their own base traversal, exactly the
+    pre-base-state behavior.  Lifetime matches the request segment: the
+    sharded engine unlinks both when the sweep completes.
+    """
+    if not transport_enabled():
+        return None
+    state = getattr(sweep_handle, "base_state", None)
+    if state is None:
+        return None
+    try:
+        seg, fields = _publish_arrays(list(state()), "base")
+    except _PUBLISH_ERRORS:
+        return None
+    return SweepBaseState(seg, BaseStateHandle(name=seg.name, fields=fields))
 
 
 # ----------------------------------------------------------------------
@@ -593,6 +656,18 @@ def _build_tree(handle: PlaneHandle, graph: Graph, weights, arrays):
     tree.preorder = arrays["tree_preorder"].tolist()
     # children / binary-lifting tables are deliberately not rebuilt: no
     # failure-sweep path touches them (lca() would need a full rebuild).
+    # The mapped int64 decomposition, for engines that can consume it
+    # directly (``CSREngine.prepared_weighted_sweep``): the attached
+    # views instead of the Python lists above, so a worker's sweep setup
+    # never pays the O(n) list/big-int round trips again.
+    tree._base_state = {
+        "hop": arrays["tree_hop"],
+        "pert": arrays["tree_pert"],
+        "parent_eid": arrays["tree_parent_eid"],
+        "tin": arrays["tree_tin"],
+        "tout": arrays["tree_tout"],
+        "preorder": arrays["tree_preorder"],
+    }
     return tree
 
 
@@ -694,10 +769,34 @@ def attach_request(handle: RequestHandle) -> RequestView:
 # ----------------------------------------------------------------------
 # worker shard bodies (submitted by the sharded engine)
 # ----------------------------------------------------------------------
+def _attach_base_state(base_handle: BaseStateHandle):
+    """Attach a base-state segment, returning its array dict (cached)."""
+    cached = _recall(_ATTACHED, base_handle.name)
+    if cached is None:
+        seg, arrays = _attach_arrays(base_handle.name, base_handle.fields)
+        # ``owner`` rides in the dict: the rebuilt sweep handle must pin
+        # the segment (see the ``_ATTACHED`` eviction note).
+        arrays["owner"] = seg
+        cached = (seg, arrays)
+        _remember(_ATTACHED, _ATTACH_CAP, base_handle.name, cached)
+    return cached[1]
+
+
 def _base_sweep_state(
-    plane_handle: PlaneHandle, request_handle: RequestHandle, engine_name: str
+    plane_handle: PlaneHandle,
+    request_handle: RequestHandle,
+    base_handle: Optional[BaseStateHandle],
+    engine_name: str,
 ):
-    """The memoized base sweep handle for one (plane, request, engine)."""
+    """The memoized base sweep handle for one (plane, request, engine).
+
+    With a base-state segment published (and an engine that can consume
+    it), the handle is *rebuilt* from the mapped arrays in O(1) instead
+    of re-running the base traversal - the shard fixed cost the
+    base-state plane exists to eliminate.  Either way the handle is
+    memoized, so at most the sweep's first shard in each worker pays
+    anything at all.
+    """
     key = (plane_handle.name, request_handle.name, engine_name)
     handle = _recall(_SWEEP_STATE, key)
     if handle is None:
@@ -705,9 +804,22 @@ def _base_sweep_state(
 
         graph, _, _ = attach_plane(plane_handle)
         request = attach_request(request_handle)
-        handle = get_engine(engine_name).sweep(
-            graph, request_handle.source, allowed_edges=request.allowed
-        )
+        engine = get_engine(engine_name)
+        rebuild = getattr(engine, "sweep_from_base_state", None)
+        if base_handle is not None and rebuild is not None:
+            arrays = dict(_attach_base_state(base_handle))
+            owner = arrays.pop("owner")
+            handle = rebuild(
+                graph,
+                request_handle.source,
+                arrays,
+                allowed_edges=request.allowed,
+            )
+            handle._segment_owner = owner  # pin the mapping (see above)
+        else:
+            handle = engine.sweep(
+                graph, request_handle.source, allowed_edges=request.allowed
+            )
         _remember(_SWEEP_STATE, _SWEEP_CAP, key, handle)
     return handle
 
@@ -715,24 +827,63 @@ def _base_sweep_state(
 def _shm_sweep_shard(
     plane_handle: PlaneHandle,
     request_handle: RequestHandle,
+    base_handle: Optional[BaseStateHandle],
     lo: int,
     hi: int,
     engine_name: str,
 ) -> List[Sequence[int]]:
     """Worker body: one ``failure_sweep`` slice over attached segments."""
     request = attach_request(request_handle)
-    handle = _base_sweep_state(plane_handle, request_handle, engine_name)
+    handle = _base_sweep_state(
+        plane_handle, request_handle, base_handle, engine_name
+    )
     return [handle.failed(int(eid)) for eid in request.eids[lo:hi]]
+
+
+def _weighted_sweep_state(
+    plane_handle: PlaneHandle, request_handle: RequestHandle, engine_name: str
+):
+    """The memoized weighted-sweep setup for one (plane, request, engine).
+
+    Engines exposing ``prepared_weighted_sweep`` (csr) get their whole
+    per-sweep setup - plan gating, decomposition arrays (zero-copy off
+    the plane via the tree façade's ``_base_state``), the edge->child
+    map and chunk sizes - built once per worker and shared by every
+    shard.  Engines without the hook (or requests the plan rejects)
+    memoize None and run each shard through the engine's own sweep, the
+    pre-memoization behavior.
+    """
+    key = (plane_handle.name, request_handle.name, engine_name, "weighted")
+    state = _recall(_SWEEP_STATE, key)
+    if state is None:
+        from repro.engine.registry import get_engine
+
+        graph, weights, tree = attach_plane(plane_handle)
+        request = attach_request(request_handle)
+        engine = get_engine(engine_name)
+        prepare = getattr(engine, "prepared_weighted_sweep", None)
+        prepared = None
+        if prepare is not None:
+            prepared = prepare(
+                graph, weights, tree, request.eids.tolist()
+            )
+        state = (prepared,)
+        _remember(_SWEEP_STATE, _SWEEP_CAP, key, state)
+    return state[0]
 
 
 def _shm_weighted_shard(
     plane_handle: PlaneHandle,
     request_handle: RequestHandle,
+    base_handle: Optional[BaseStateHandle],  # unused: weighted state rides the plane
     lo: int,
     hi: int,
     engine_name: str,
 ):
     """Worker body: one ``weighted_failure_sweep`` slice, attached."""
+    prepared = _weighted_sweep_state(plane_handle, request_handle, engine_name)
+    if prepared is not None:
+        return list(prepared.items(lo, hi))
     from repro.engine.registry import get_engine
 
     graph, weights, tree = attach_plane(plane_handle)

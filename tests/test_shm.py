@@ -11,6 +11,11 @@ Covers the PR 5 transport end to end:
 * shard payloads are O(1) in graph size;
 * transport parity - shm and pickle transports are bit-identical to the
   base engine on both sweeps, under fork and spawn start methods;
+* the base-state segment (PR 6) - the parent's precomputed base sweep
+  ships through shared memory, workers rebuild their handle from the
+  mapped arrays bit-identically in O(1), publish failures degrade to
+  worker-side recomputation, and per-sweep state (both sweep kinds) is
+  memoized per ``(plane, request, engine)``;
 * segment lifecycle - nothing leaks after normal completion, early
   generator abandonment, worker crash, or owner garbage collection.
 """
@@ -335,6 +340,150 @@ class TestTransportParity:
 
 
 # ----------------------------------------------------------------------
+# the base-state segment (PR 6: zero-fixed-cost shards)
+# ----------------------------------------------------------------------
+@needs_shm
+class TestBaseState:
+    def test_publish_and_rebuild_round_trip(self, instance):
+        """A handle rebuilt from the mapped arrays answers every failure
+        bit-identically to the handle that published them."""
+        graph, _, _ = instance
+        original = get_engine("csr").sweep(graph, 0)
+        state = shm.publish_base_state(original)
+        assert state is not None
+        try:
+            assert (state.name, "base") == (state.name, shm._OWNED[state.name][1])
+            arrays = dict(shm._attach_base_state(state.handle))
+            owner = arrays.pop("owner")
+            rebuilt = get_engine("csr").sweep_from_base_state(graph, 0, arrays)
+            rebuilt._segment_owner = owner
+            assert distances_equal(
+                rebuilt.base_distances(), original.base_distances()
+            )
+            for eid in range(graph.num_edges):
+                assert distances_equal(
+                    rebuilt.failed(eid), original.failed(eid)
+                ), eid
+        finally:
+            state.unlink()
+
+    def test_masked_round_trip(self, instance):
+        graph, _, tree = instance
+        h_edges = set(tree.tree_edges())
+        original = get_engine("csr").sweep(graph, 0, allowed_edges=h_edges)
+        state = shm.publish_base_state(original)
+        assert state is not None
+        try:
+            arrays = dict(shm._attach_base_state(state.handle))
+            arrays.pop("owner")
+            rebuilt = get_engine("csr").sweep_from_base_state(
+                graph, 0, arrays, allowed_edges=h_edges
+            )
+            for eid in sorted(h_edges):
+                assert distances_equal(rebuilt.failed(eid), original.failed(eid))
+        finally:
+            state.unlink()
+
+    def test_reference_handle_does_not_ship(self, instance):
+        """The python engine's lazy handle has no exportable base state:
+        workers fall back to computing their own, so python-base sharding
+        is unaffected by the base-state plane."""
+        graph, _, _ = instance
+        assert shm.publish_base_state(get_engine("python").sweep(graph, 0)) is None
+
+    def test_env_var_disables_base_state(self, instance, monkeypatch):
+        graph, _, _ = instance
+        handle = get_engine("csr").sweep(graph, 0)
+        monkeypatch.setenv(shm.SHM_ENV_VAR, "0")
+        assert shm.publish_base_state(handle) is None
+
+    def test_publish_failure_degrades_to_worker_rebuild(self, instance, monkeypatch):
+        """No base segment (exhausted /dev/shm) must not change results:
+        workers recompute (and memoize) their own base traversal."""
+        graph, _, _ = instance
+        monkeypatch.setattr(shm, "publish_base_state", lambda *a, **k: None)
+        engine = ShardedEngine(base="csr", max_workers=2, min_batch=1)
+        eids = list(range(graph.num_edges))
+        reference = list(get_engine("csr").failure_sweep(graph, 0, eids))
+        got = list(engine.failure_sweep(graph, 0, eids))
+        for ref, item in zip(reference, got):
+            assert distances_equal(ref, item)
+        assert shm.active_segment_names("base") == []
+
+    def test_sweep_state_memoized_per_request(self, instance):
+        """Worker-side: every shard after a sweep's first reuses the one
+        rebuilt handle (the O(shard) fixed-cost claim)."""
+        graph, _, _ = instance
+        plane = shm.graph_plane(graph)
+        request = shm.publish_request(range(graph.num_edges), None, 0)
+        state = shm.publish_base_state(get_engine("csr").sweep(graph, 0))
+        try:
+            first = shm._base_sweep_state(
+                plane.handle, request.handle, state.handle, "csr"
+            )
+            again = shm._base_sweep_state(
+                plane.handle, request.handle, state.handle, "csr"
+            )
+            assert again is first  # memo hit: no second rebuild
+            assert first._segment_owner is not None  # mapping is pinned
+        finally:
+            request.unlink()
+            state.unlink()
+
+    def test_weighted_setup_memoized_and_zero_copy(self, instance):
+        """Worker-side: the weighted sweep's prepared setup is memoized
+        per (plane, request, engine) and consumes the tree façade's
+        mapped decomposition arrays directly (no per-shard rebuild)."""
+        graph, weights, tree = instance
+        plane = shm.tree_plane(graph, weights, tree)
+        eids = tree.tree_edges()
+        request = shm.publish_request(eids, None, tree.source)
+        try:
+            prepared = shm._weighted_sweep_state(
+                plane.handle, request.handle, "csr"
+            )
+            assert prepared is not None
+            again = shm._weighted_sweep_state(plane.handle, request.handle, "csr")
+            assert again is prepared  # memo hit: setup built once
+            facade_tree = shm.attach_plane(plane.handle)[2]
+            assert prepared.hop0 is facade_tree._base_state["hop"]  # zero-copy
+            assert list(prepared.items(0, len(eids))) == list(
+                get_engine("csr").weighted_failure_sweep(
+                    graph, weights, tree, eids=eids
+                )
+            )
+        finally:
+            request.unlink()
+
+    def test_base_segment_live_mid_sweep_gone_after(self, instance):
+        """The segment's lifetime is the sweep's: live while streaming
+        (abandonment included), unlinked with the request."""
+        graph, _, _ = instance
+        engine = ShardedEngine(base="csr", max_workers=2, min_batch=1)
+        gen = engine.failure_sweep(graph, 0, list(range(graph.num_edges)))
+        next(gen)
+        names = shm.active_segment_names("base")
+        assert names  # the base-state segment rides alongside the request
+        gen.close()
+        assert shm.active_segment_names("base") == []
+        assert all(_fs_gone(name) for name in names)
+
+    def test_spawn_parity_through_base_state(self, instance):
+        """The base-state fast path is bit-identical across a spawn
+        boundary too (fresh interpreter, attach from scratch)."""
+        graph, _, _ = instance
+        eids = list(range(0, graph.num_edges, 2))
+        reference = list(get_engine("csr").failure_sweep(graph, 0, eids))
+        forced = ShardedEngine(
+            base="csr", max_workers=2, min_batch=1, start_method="spawn"
+        )
+        got = list(forced.failure_sweep(graph, 0, eids))
+        for ref, item in zip(reference, got):
+            assert distances_equal(ref, item)
+        assert shm.active_segment_names("base") == []
+
+
+# ----------------------------------------------------------------------
 # lifecycle
 # ----------------------------------------------------------------------
 def _crash_worker(*_args):  # module-level: must pickle into the pool
@@ -349,6 +498,7 @@ class TestLifecycle:
         list(engine.failure_sweep(graph, 0, range(graph.num_edges)))
         list(engine.weighted_failure_sweep(graph, weights, tree))
         assert shm.active_segment_names("request") == []
+        assert shm.active_segment_names("base") == []
 
     def test_abandoned_generator_unlinks_request(self, instance):
         """verify's max_violations early exit: close() after one item."""
@@ -404,6 +554,7 @@ class TestLifecycle:
         with pytest.raises(BrokenProcessPool):
             list(engine.failure_sweep(graph, 0, range(graph.num_edges)))
         assert shm.active_segment_names("request") == []
+        assert shm.active_segment_names("base") == []
         monkeypatch.undo()
         eids = list(range(0, graph.num_edges, 4))
         reference = list(get_engine("csr").failure_sweep(graph, 0, eids))
