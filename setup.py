@@ -1,8 +1,11 @@
 """Legacy setup shim.
 
 The project metadata lives in pyproject.toml; this file exists so that
-``pip install -e .`` works in offline environments without the ``wheel``
-package (pip falls back to ``setup.py develop``).
+``pip install -e .`` / ``python setup.py develop`` work in offline
+environments without the ``wheel`` package (pip falls back to
+``setup.py develop``).  Keep the two in sync: numpy is the ``fast``
+extra (the pure-Python reference engine needs nothing), and the C
+kernel source ships as package data so csr-c can compile on demand.
 """
 
 from setuptools import find_packages, setup
@@ -16,7 +19,9 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.engine": ["*.c"]},
     python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
+    install_requires=[],
+    extras_require={"fast": ["numpy>=1.24"]},
     entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

@@ -73,6 +73,11 @@ environment variables:
                          --jobs 0 (default: cores - 1)
   REPRO_THREADS          thread budget for the csr-mt engine
                          (default: the REPRO_MAX_WORKERS worker default)
+  REPRO_CC               0 disables the compiled csr-c engine; any other
+                         value names the C compiler to use (default:
+                         $CC, then cc/gcc/clang on PATH)
+  REPRO_CC_CACHE         directory for compiled kernels (default:
+                         $XDG_CACHE_HOME/repro or ~/.cache/repro)
 """
 
 
@@ -159,6 +164,7 @@ def _cmd_engines() -> int:
         print(f"  {'':<8}   transport: {engine.transport}")
         print(f"  {'':<8}   threads: {engine.threads}")
         print(f"  {'':<8}   segments: {engine.plane_segments}")
+        print(f"  {'':<8}   compiler: {engine.compiler}")
     print(f"select with --engine, ${ENGINE_ENV_VAR}, or repro.engine.set_default_engine")
     return 0
 

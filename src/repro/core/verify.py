@@ -128,10 +128,12 @@ def _resolve_engine(graph: Graph, engine: Optional[str]):
     bandwidth, zero-copy attach), else to the thread-parallel ``csr-mt``
     engine when registered (zero-copy without any transport - exactly
     the regime where the sharded engine would be stuck re-pickling the
-    graph per shard), else to sharded-over-pickle.  The upgrade only
-    changes *where* sweeps run, never their values (both wrappers are
-    bit-identical to their base by construction), so the report is the
-    same either way.
+    graph per shard), else to sharded-over-pickle.  Small graphs that
+    resolve to plain csr upgrade to the compiled ``csr-c`` engine when
+    a C toolchain is present.  The upgrades only change *where* (or how
+    fast) sweeps run, never their values (wrappers and the compiled
+    kernels are bit-identical to csr by construction), so the report is
+    the same either way.
     """
     eng = get_engine(engine)
     if engine is not None or getattr(eng, "parallel_sweeps", False):
@@ -147,6 +149,15 @@ def _resolve_engine(graph: Graph, engine: Optional[str]):
             return get_engine("sharded")
         except Exception:  # pragma: no cover - both are always registered
             return eng
+    # Below the parallel threshold, a default-resolved csr upgrades to
+    # the compiled kernels when a toolchain produced them - same values
+    # (parity-enforced), strictly less per-failure work.  An explicit
+    # engine choice (kwarg/context/env) is never overridden.
+    if eng.name == "csr":
+        from repro.engine.registry import available_engines
+
+        if "csr-c" in available_engines():
+            return get_engine("csr-c")
     return eng
 
 

@@ -57,7 +57,20 @@ Built-in engines
     construction - no pickling or shared-memory segments at all - and
     bit-identical to csr.  Registered only when numpy imports (the
     kernels' GIL-releasing array passes are what make threads pay);
-    never the implicit default.
+    never the implicit default.  Its base engine is pluggable and
+    prefers ``csr-c`` when registered, so thread windows run the
+    compiled kernels for free.
+``"csr-c"``
+    The csr engine with the sweep hot pair - the ordered base BFS +
+    Euler walk and the per-failure subtree recompute - compiled to C
+    flat loops over the same cached CSR arrays
+    (:mod:`repro.engine.compiled`).  ``_ckernels.c`` is compiled once
+    on demand by the system compiler into a hash-keyed cache
+    (:mod:`repro.engine.cbuild`) and loaded via ctypes; registered only
+    when numpy *and* a C compiler are present (``REPRO_CC=0`` gates it
+    out), never the implicit default, bit-identical by the same parity
+    suites.  Each engine reports its toolchain via ``compiler`` (shown
+    by ``repro engines``).
 
 Selection
 ---------

@@ -1,0 +1,304 @@
+/* Flat-loop C implementations of the sweep hot pair.
+ *
+ * Compiled on demand by repro.engine.cbuild with the system C compiler
+ * and loaded through ctypes; repro/engine/compiled.py is the only
+ * caller.  Every function operates on the caller's cached CSR arrays
+ * (int64 offsets/ids, uint8 masks, passed as raw pointers) and writes
+ * into caller-allocated int64 outputs, so the Python side stays
+ * allocation-compatible with the numpy kernels it replaces.  Nothing
+ * here touches the Python API: ctypes releases the GIL around every
+ * call, which is what lets the csr-mt engine window these kernels
+ * across genuinely concurrent threads.
+ *
+ * Bit-identity with repro/engine/kernels.py (the acceptance bar):
+ *
+ * - The BFS dequeues in discovery order and walks each vertex's
+ *   neighbors in CSR order (= the graph's adjacency-list order), so
+ *   the first discoverer of a vertex - its parent - and the per-level
+ *   dequeue order match the reference deque BFS exactly.  numpy's
+ *   per-level unique(return_index) + stable argsort picks the same
+ *   first discoverer from the same stream.
+ * - The Euler walk replays FailureSweep._euler verbatim: children
+ *   grouped per parent in BFS-discovery order, an iterative DFS with
+ *   children pushed in reverse, tin/preorder stamped on entry and
+ *   tout on exit.
+ * - The subtree recompute settles levels in increasing order; its
+ *   output is a distance vector (order-free values), identical to the
+ *   numpy multi-level-seeded BFS by the same unit-weight argument.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define UNREACHABLE (-1)
+
+/* Queue BFS; the queue array doubles as the discovery order.  Any of
+ * edge_ok (uint8 per edge id), vertex_ok (uint8 per vertex), parent,
+ * and parent_eid may be NULL.  dist and order must be length n; dist
+ * is fully initialized (unreached = -1), order only up to the return
+ * value.  Returns the number of visited vertices. */
+static int64_t bfs_core(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *edge_ids,
+    int64_t source,
+    const uint8_t *edge_ok,
+    const uint8_t *vertex_ok,
+    int64_t *dist,
+    int64_t *parent,
+    int64_t *parent_eid,
+    int64_t *order)
+{
+    for (int64_t v = 0; v < n; v++) {
+        dist[v] = UNREACHABLE;
+        if (parent) parent[v] = -1;
+        if (parent_eid) parent_eid[v] = -1;
+    }
+    if (vertex_ok && !vertex_ok[source])
+        return 0;
+    dist[source] = 0;
+    if (parent) parent[source] = source;
+    order[0] = source;
+    int64_t head = 0, tail = 1;
+    while (head < tail) {
+        int64_t v = order[head++];
+        int64_t dv = dist[v];
+        for (int64_t k = indptr[v]; k < indptr[v + 1]; k++) {
+            int64_t w = indices[k];
+            if (dist[w] != UNREACHABLE) continue;
+            if (edge_ok && !edge_ok[edge_ids[k]]) continue;
+            if (vertex_ok && !vertex_ok[w]) continue;
+            dist[w] = dv + 1;
+            if (parent) parent[w] = v;
+            if (parent_eid) parent_eid[w] = edge_ids[k];
+            order[tail++] = w;
+        }
+    }
+    return tail;
+}
+
+/* bfs_levels / bfs_levels_ordered equivalent (see bfs_core for the
+ * NULL-able arguments and outputs). */
+int64_t repro_bfs_order(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *edge_ids,
+    int64_t source,
+    const uint8_t *edge_ok,
+    const uint8_t *vertex_ok,
+    int64_t *dist,
+    int64_t *parent,
+    int64_t *parent_eid,
+    int64_t *order)
+{
+    return bfs_core(n, indptr, indices, edge_ids, source,
+                    edge_ok, vertex_ok, dist, parent, parent_eid, order);
+}
+
+/* The FailureSweep base state in one call: ordered BFS plus the Euler
+ * walk of the resulting tree.  All outputs are length-n int64 arrays;
+ * unreached vertices keep tin = tout = -1 and preorder is meaningful
+ * only up to the returned visited count.  Returns the visited count,
+ * or -1 on allocation failure (the caller falls back to numpy). */
+int64_t repro_bfs_euler(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *edge_ids,
+    int64_t source,
+    const uint8_t *edge_ok,
+    int64_t *dist,
+    int64_t *parent,
+    int64_t *parent_eid,
+    int64_t *order,
+    int64_t *tin,
+    int64_t *tout,
+    int64_t *preorder)
+{
+    int64_t visited = bfs_core(n, indptr, indices, edge_ids, source,
+                               edge_ok, NULL, dist, parent, parent_eid,
+                               order);
+    for (int64_t v = 0; v < n; v++)
+        tin[v] = tout[v] = -1;
+
+    /* Children of each parent in BFS-discovery order, via a counting
+     * sort over parent[] along `order` (the discovery sequence). */
+    int64_t *cnt = calloc((size_t)(n + 1), sizeof(int64_t));
+    int64_t *kids = malloc((size_t)(visited > 0 ? visited : 1) * sizeof(int64_t));
+    int64_t *stack = malloc((size_t)(2 * visited + 1) * sizeof(int64_t));
+    if (!cnt || !kids || !stack) {
+        free(cnt); free(kids); free(stack);
+        return -1;
+    }
+    for (int64_t i = 1; i < visited; i++)  /* skip the source (own parent) */
+        cnt[parent[order[i]] + 1]++;
+    for (int64_t v = 0; v < n; v++)
+        cnt[v + 1] += cnt[v];               /* cnt[v] = offset of v's kids */
+    int64_t *fill = malloc((size_t)n * sizeof(int64_t));
+    if (!fill) {
+        free(cnt); free(kids); free(stack);
+        return -1;
+    }
+    memcpy(fill, cnt, (size_t)n * sizeof(int64_t));
+    for (int64_t i = 1; i < visited; i++) {
+        int64_t v = order[i];
+        kids[fill[parent[v]]++] = v;
+    }
+
+    /* Iterative DFS, children pushed reversed so the leftmost (first
+     * discovered) child is visited first.  Stack encodes "enter v" as
+     * v + 1 and "exit v" as -(v + 1). */
+    int64_t clock = 0;
+    int64_t sp = 0;
+    stack[sp++] = source + 1;
+    while (sp > 0) {
+        int64_t item = stack[--sp];
+        if (item < 0) {
+            tout[-item - 1] = clock;
+            continue;
+        }
+        int64_t v = item - 1;
+        tin[v] = clock;
+        preorder[clock] = v;
+        clock++;
+        stack[sp++] = -(v + 1);
+        for (int64_t k = cnt[v + 1] - 1; k >= cnt[v]; k--)
+            stack[sp++] = kids[k] + 1;
+    }
+    free(cnt); free(kids); free(stack); free(fill);
+    return visited;
+}
+
+static int cmp_int64(const void *a, const void *b)
+{
+    int64_t x = *(const int64_t *)a, y = *(const int64_t *)b;
+    return (x > y) - (x < y);
+}
+
+/* FailureSweep._recompute_subtree: hop distances after failing tree
+ * edge `failed_eid` whose deeper endpoint's Euler interval is
+ * [tin_c, tout_c).  `out` (length n) receives the full new distance
+ * vector; `base`, `tin`, `preorder` are the sweep's base state.
+ * Returns 0, or -1 on allocation failure (caller falls back). */
+int64_t repro_recompute_subtree(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *edge_ids,
+    const uint8_t *edge_ok,
+    int64_t failed_eid,
+    const int64_t *tin,
+    int64_t tin_c,
+    int64_t tout_c,
+    const int64_t *preorder,
+    const int64_t *base,
+    int64_t *out)
+{
+    const int64_t INF = INT64_MAX;
+    int64_t sub_size = tout_c - tin_c;
+    const int64_t *sub = preorder + tin_c;
+    memcpy(out, base, (size_t)n * sizeof(int64_t));
+    if (sub_size <= 0)
+        return 0;
+
+    int64_t *tent = malloc((size_t)sub_size * sizeof(int64_t));
+    int64_t *keys = malloc((size_t)sub_size * sizeof(int64_t));
+    int64_t *act = malloc((size_t)sub_size * sizeof(int64_t));
+    int64_t *fr = malloc((size_t)sub_size * sizeof(int64_t));
+    int64_t *nx = malloc((size_t)sub_size * sizeof(int64_t));
+    if (!tent || !keys || !act || !fr || !nx) {
+        free(tent); free(keys); free(act); free(fr); free(nx);
+        return -1;
+    }
+    for (int64_t i = 0; i < sub_size; i++) {
+        out[sub[i]] = UNREACHABLE;
+        tent[i] = INF;
+    }
+
+    /* Crossing-edge seeds: every surviving path into the subtree last
+     * enters through an edge (w, v) with w outside the interval;
+     * outside distances are unchanged, so v is seeded at base[w] + 1.
+     * Local subtree index of v = tin[v] - tin_c (preorder positions). */
+    for (int64_t i = 0; i < sub_size; i++) {
+        int64_t v = sub[i];
+        for (int64_t k = indptr[v]; k < indptr[v + 1]; k++) {
+            int64_t e = edge_ids[k];
+            if (e == failed_eid) continue;
+            if (edge_ok && !edge_ok[e]) continue;
+            int64_t tw = tin[indices[k]];
+            if (tw >= tin_c && tw < tout_c) continue;  /* internal edge */
+            int64_t bw = base[indices[k]];
+            if (bw == UNREACHABLE) continue;           /* dead outside end */
+            if (bw + 1 < tent[i]) tent[i] = bw + 1;
+        }
+    }
+    int64_t nseeds = 0;
+    for (int64_t i = 0; i < sub_size; i++)
+        if (tent[i] != INF)
+            keys[nseeds++] = tent[i] * (n + 1) + i;  /* (level, index) packed */
+    qsort(keys, (size_t)nseeds, sizeof(int64_t), cmp_int64);
+
+    /* Settle levels in increasing order: each round merges the seeds of
+     * the round's level with the relaxation frontier carried over from
+     * the previous round (whenever the frontier is non-empty its level
+     * is <= every remaining seed level, so it is always consumed). */
+    int64_t sp = 0;          /* next unconsumed seed */
+    int64_t flen = 0;        /* relaxation frontier size ... */
+    int64_t flevel = 0;      /* ... and its level */
+    while (sp < nseeds || flen > 0) {
+        int64_t lvl;
+        if (flen > 0)
+            lvl = flevel;
+        else
+            lvl = keys[sp] / (n + 1);
+        if (sp < nseeds) {
+            int64_t slvl = keys[sp] / (n + 1);
+            if (slvl < lvl) lvl = slvl;
+        }
+        int64_t alen = 0;
+        while (sp < nseeds && keys[sp] / (n + 1) == lvl) {
+            int64_t i = keys[sp] % (n + 1);
+            sp++;
+            if (out[sub[i]] == UNREACHABLE && tent[i] == lvl) {
+                out[sub[i]] = lvl;
+                act[alen++] = i;
+            }
+        }
+        if (flen > 0 && flevel == lvl) {
+            for (int64_t j = 0; j < flen; j++) {
+                int64_t i = fr[j];
+                if (out[sub[i]] == UNREACHABLE && tent[i] == lvl) {
+                    out[sub[i]] = lvl;
+                    act[alen++] = i;
+                }
+            }
+            flen = 0;
+        }
+        int64_t nlen = 0;
+        for (int64_t j = 0; j < alen; j++) {
+            int64_t v = sub[act[j]];
+            for (int64_t k = indptr[v]; k < indptr[v + 1]; k++) {
+                int64_t e = edge_ids[k];
+                if (e == failed_eid) continue;
+                if (edge_ok && !edge_ok[e]) continue;
+                int64_t w = indices[k];
+                int64_t tw = tin[w];
+                if (tw < tin_c || tw >= tout_c) continue;  /* outside */
+                if (out[w] != UNREACHABLE) continue;       /* settled */
+                int64_t iw = tw - tin_c;
+                if (tent[iw] > lvl + 1) {
+                    tent[iw] = lvl + 1;   /* also dedupes within nx */
+                    nx[nlen++] = iw;
+                }
+            }
+        }
+        int64_t *tmp = fr; fr = nx; nx = tmp;
+        flen = nlen;
+        flevel = lvl + 1;
+    }
+    free(tent); free(keys); free(act); free(fr); free(nx);
+    return 0;
+}

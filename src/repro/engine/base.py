@@ -168,6 +168,12 @@ class TraversalEngine:
     #: for the graph / tree / base-state / request segment kinds).
     plane_segments: str = "none (in-process memory)"
 
+    #: Which compiled toolchain backs the engine's kernels (``repro
+    #: engines`` reports it).  Interpreted and numpy engines have none;
+    #: the compiled engine overrides this with its resolved cc, flags,
+    #: and kernel cache path (see :mod:`repro.engine.cbuild`).
+    compiler: str = "none (interpreted/numpy kernels)"
+
     #: Whether ``failure_sweep``/``weighted_failure_sweep`` fan out over
     #: parallel executors.  The verification oracle streams its two
     #: sweep sides through ``failure_sweep`` (with a ``halved()`` budget

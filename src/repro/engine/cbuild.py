@@ -1,0 +1,244 @@
+"""Compile-on-demand loader for the ``csr-c`` engine's C kernels.
+
+``_ckernels.c`` (the sweep hot pair: ordered BFS + Euler walk, subtree
+recompute) ships as source; no wheel, no build step at install time.
+The first time the compiled engine needs its kernels this module
+
+1. finds a system C compiler (``$REPRO_CC`` override > ``$CC`` >
+   ``cc`` > ``gcc`` > ``clang``; ``REPRO_CC=0`` disables the backend
+   entirely, the moral twin of running without numpy);
+2. compiles the source once into a per-version cache directory
+   (``$REPRO_CC_CACHE`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``
+   > a temp dir), with the shared object keyed by a hash of the source,
+   the compiler's version banner, and the flags - so upgrading any of
+   them recompiles and stale caches are never loaded;
+3. loads it with stdlib :mod:`ctypes` and pins argument/return types.
+
+Everything degrades, never raises, at the module boundary:
+:func:`kernel_library` returns ``None`` when the backend is disabled,
+no compiler exists, or the compile/load fails (with a one-time
+warning), and the compiled engine falls back to its numpy superclass.
+:func:`available` is the cheap registration gate - it only checks for a
+plausible compiler and defers the actual compile to first use.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "CC_ENV_VAR",
+    "CC_CACHE_ENV_VAR",
+    "CFLAGS",
+    "KernelLib",
+    "available",
+    "cache_dir",
+    "cc_disabled",
+    "compiler_description",
+    "find_compiler",
+    "kernel_library",
+    "toolchain_info",
+]
+
+#: ``0`` disables the compiled backend; any other value names/paths the
+#: compiler to use instead of the ``$CC``/cc/gcc/clang search.
+CC_ENV_VAR = "REPRO_CC"
+
+#: Overrides the kernel cache directory.
+CC_CACHE_ENV_VAR = "REPRO_CC_CACHE"
+
+#: One compilation unit, no Python headers: plain C11 at -O3.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c11")
+
+_SOURCE = Path(__file__).with_name("_ckernels.c")
+
+#: Memoized per process: False -> not attempted, None -> attempted and
+#: unavailable (warned once), else the loaded KernelLib.
+_loaded: object = False
+
+
+def cc_disabled() -> bool:
+    """True when ``REPRO_CC=0`` gates the compiled backend out."""
+    return os.environ.get(CC_ENV_VAR, "").strip() == "0"
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the C compiler to use, or None."""
+    override = os.environ.get(CC_ENV_VAR, "").strip()
+    if override == "0":
+        return None
+    candidates = [override] if override else []
+    env_cc = os.environ.get("CC", "").strip()
+    if env_cc:
+        candidates.append(env_cc)
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def available() -> bool:
+    """Cheap registration gate: a compiler plausibly exists and the
+    backend is not disabled.  (Compilation itself is deferred to first
+    kernel use; a compiler that is found but then fails to compile
+    degrades to the numpy kernels at runtime instead of unregistering.)
+    """
+    return find_compiler() is not None
+
+
+_version_cache: dict = {}
+
+
+def _cc_version(cc: str) -> str:
+    """First line of ``cc --version`` (cache key + human description)."""
+    if cc not in _version_cache:
+        try:
+            proc = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, timeout=30
+            )
+            banner = (proc.stdout or proc.stderr).splitlines()
+            _version_cache[cc] = banner[0].strip() if banner else cc
+        except OSError:
+            _version_cache[cc] = cc
+    return _version_cache[cc]
+
+
+def cache_dir() -> Path:
+    """Where compiled kernels live (not created until a compile runs)."""
+    override = os.environ.get(CC_CACHE_ENV_VAR, "").strip()
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _lib_path(cc: str) -> Path:
+    source = _SOURCE.read_bytes()
+    key = hashlib.sha256(
+        source + _cc_version(cc).encode() + " ".join(CFLAGS).encode()
+    ).hexdigest()[:16]
+    return cache_dir() / f"_ckernels-{key}.so"
+
+
+def _compile(cc: str, lib_path: Path) -> None:
+    """Compile the kernels to ``lib_path`` (atomic rename, raise on error)."""
+    lib_path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(lib_path.parent), prefix=".ckernels-", suffix=".so"
+    )
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", tmp, str(_SOURCE)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{cc} exited {proc.returncode}: {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp, lib_path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+class KernelLib:
+    """The loaded shared object with argument types pinned.
+
+    Array arguments are ``c_void_p`` so callers pass raw
+    ``ndarray.ctypes.data`` addresses (or None for the NULL-able
+    masks/outputs); scalars are int64.  Foreign calls release the GIL.
+    """
+
+    def __init__(self, path: Path, cc: str) -> None:
+        self.path = path
+        self.cc = cc
+        self.cc_version = _cc_version(cc)
+        dll = ctypes.CDLL(str(path))
+        i64, ptr = ctypes.c_int64, ctypes.c_void_p
+
+        self.bfs_order = dll.repro_bfs_order
+        self.bfs_order.restype = i64
+        self.bfs_order.argtypes = [
+            i64, ptr, ptr, ptr, i64, ptr, ptr, ptr, ptr, ptr, ptr,
+        ]
+        self.bfs_euler = dll.repro_bfs_euler
+        self.bfs_euler.restype = i64
+        self.bfs_euler.argtypes = [
+            i64, ptr, ptr, ptr, i64, ptr, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+        ]
+        self.recompute_subtree = dll.repro_recompute_subtree
+        self.recompute_subtree.restype = i64
+        self.recompute_subtree.argtypes = [
+            i64, ptr, ptr, ptr, ptr, i64, ptr, i64, i64, ptr, ptr, ptr,
+        ]
+
+
+def kernel_library() -> Optional[KernelLib]:
+    """The loaded kernels, compiling on first use; None when unavailable.
+
+    Success and failure are both memoized per process (failure warns
+    once); ``REPRO_CC=0`` is honored even between calls, so tests can
+    gate an already-warm process back out.
+    """
+    global _loaded
+    if cc_disabled():
+        return None
+    if _loaded is not False:
+        return _loaded  # type: ignore[return-value]
+    cc = find_compiler()
+    if cc is None:
+        _loaded = None
+        return None
+    try:
+        lib_path = _lib_path(cc)
+        if not lib_path.exists():
+            _compile(cc, lib_path)
+        _loaded = KernelLib(lib_path, cc)
+    except Exception as exc:  # compile or load failure: degrade, once
+        warnings.warn(
+            f"csr-c kernels unavailable ({exc}); falling back to numpy kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _loaded = None
+    return _loaded  # type: ignore[return-value]
+
+
+def compiler_description() -> str:
+    """One line for ``repro engines``: toolchain + kernel cache path."""
+    if cc_disabled():
+        return f"disabled (${CC_ENV_VAR}=0)"
+    cc = find_compiler()
+    if cc is None:
+        return "no C compiler found (cc/gcc/clang)"
+    lib = kernel_library()
+    if lib is None:
+        return f"{_cc_version(cc)} (compile failed; numpy kernels in use)"
+    return f"{lib.cc_version} [{' '.join(CFLAGS)}] cache: {lib.path}"
+
+
+def toolchain_info() -> dict:
+    """Toolchain stamp for bench artifacts (JSON-safe)."""
+    cc = find_compiler()
+    lib = kernel_library()
+    return {
+        "cc": cc,
+        "cc_version": _cc_version(cc) if cc else None,
+        "cflags": " ".join(CFLAGS),
+        "kernel_lib": str(lib.path) if lib else None,
+        "compiled": lib is not None,
+    }

@@ -1,0 +1,286 @@
+"""The compiled-kernel engine (``csr-c``): C loops for the sweep hot pair.
+
+:class:`CompiledEngine` subclasses the csr engine and replaces exactly
+the two kernels every single-edge-failure sweep spends its time in -
+the ordered base BFS (+ Euler walk) and the per-failure subtree
+recompute - with the flat C loops of ``_ckernels.c``, compiled on
+demand and loaded by :mod:`repro.engine.cbuild`.  The C functions read
+the same cached CSR int64 arrays and boolean masks through raw
+pointers and fill caller-allocated numpy outputs, so results are
+**bit-identical** to the numpy kernels (same adjacency-order
+tie-breaking, enforced by the parity suites under
+``REPRO_ENGINE=csr-c``) while skipping numpy's per-level array
+orchestration.  Everything the C side does not accelerate - weighted
+traversals, the batched replacement subsystem, subset queries - is
+inherited from :class:`~repro.engine.csr_engine.CSREngine` unchanged.
+
+Because ctypes releases the GIL around every call, the ``csr-mt``
+engine windows these kernels across genuinely concurrent threads by
+simply using ``csr-c`` as its base engine (its default when this
+engine is registered), and the sharded/shm plane is untouched: the
+arrays are the same, and :class:`CompiledFailureSweep` publishes and
+rebuilds the exact base state the numpy sweep does.
+
+Degradation mirrors the csr engine's no-numpy gating: with no working
+compiler (or under ``REPRO_CC=0``) the engine is not registered at
+all, and a compile/load failure after registration falls back to the
+inherited numpy paths at runtime (one warning, identical results).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro._types import EdgeId, Vertex
+from repro.engine import cbuild
+from repro.engine.csr import CSRAdjacency, csr_view
+from repro.engine.csr_engine import CSREngine, _edge_ok_mask, _vertex_ok_mask
+from repro.engine.kernels import FailureSweep
+from repro.engine.python_engine import _check_source
+from repro.graphs.graph import Graph
+
+__all__ = ["CompiledEngine", "CompiledFailureSweep"]
+
+
+def _ptr(array: Optional[np.ndarray]):
+    """ctypes ``void*`` for an array (None passes NULL)."""
+    return None if array is None else array.ctypes.data
+
+
+class CompiledFailureSweep(FailureSweep):
+    """A :class:`FailureSweep` whose hot pair runs in C.
+
+    Construction performs the ordered base BFS *and* the Euler walk in
+    one foreign call; ``_recompute_subtree`` fills the post-failure
+    distance vector in another.  All derived state (``base_state()``,
+    ``tree_child``, the no-op-failure short-circuits) is inherited -
+    the arrays have the same dtypes, shapes, and values as the numpy
+    sweep's, so shm publication and rebuilds interoperate freely.
+    ``kernels=None`` (a handle rebuilt where the library failed to
+    load) runs entirely on the inherited numpy paths.
+    """
+
+    def __init__(
+        self,
+        csr: CSRAdjacency,
+        source: int,
+        *,
+        edge_ok: Optional[np.ndarray] = None,
+        kernels: Optional[cbuild.KernelLib] = None,
+    ) -> None:
+        if kernels is None:
+            super().__init__(csr, source, edge_ok=edge_ok)
+            self._kernels = None
+            return
+        self._kernels = kernels
+        self.csr = csr
+        self.source = source
+        self.edge_ok = edge_ok
+        n = csr.num_vertices
+        dist = np.empty(n, dtype=np.int64)
+        parent = np.empty(n, dtype=np.int64)
+        parent_eid = np.empty(n, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        tin = np.empty(n, dtype=np.int64)
+        tout = np.empty(n, dtype=np.int64)
+        preorder = np.empty(n, dtype=np.int64)
+        visited = kernels.bfs_euler(
+            n,
+            _ptr(csr.indptr),
+            _ptr(csr.indices),
+            _ptr(csr.edge_ids),
+            source,
+            _ptr(edge_ok),
+            _ptr(dist),
+            _ptr(parent),
+            _ptr(parent_eid),
+            _ptr(order),
+            _ptr(tin),
+            _ptr(tout),
+            _ptr(preorder),
+        )
+        if visited < 0:  # allocation failure inside the kernel
+            super().__init__(csr, source, edge_ok=edge_ok)
+            self._kernels = None
+            return
+        self.base = dist
+        self.base.setflags(write=False)
+        self._parent = parent
+        self._parent_eid = parent_eid
+        self._tin = tin
+        self._tout = tout
+        self._preorder = preorder[:visited]
+
+    @classmethod
+    def from_base_state(
+        cls,
+        csr: CSRAdjacency,
+        source: int,
+        arrays,
+        *,
+        edge_ok: Optional[np.ndarray] = None,
+        kernels: Optional[cbuild.KernelLib] = None,
+    ) -> "CompiledFailureSweep":
+        """Rebuild from published base-state arrays (O(1), no traversal),
+        attaching the kernels so recomputes still run in C."""
+        self = super().from_base_state(csr, source, arrays, edge_ok=edge_ok)
+        self._kernels = kernels
+        return self
+
+    def _recompute_subtree(self, eid: int, child: int) -> np.ndarray:
+        kernels = self._kernels
+        if kernels is None:
+            return super()._recompute_subtree(eid, child)
+        csr = self.csr
+        out = np.empty(csr.num_vertices, dtype=np.int64)
+        rc = kernels.recompute_subtree(
+            csr.num_vertices,
+            _ptr(csr.indptr),
+            _ptr(csr.indices),
+            _ptr(csr.edge_ids),
+            _ptr(self.edge_ok),
+            eid,
+            _ptr(self._tin),
+            int(self._tin[child]),
+            int(self._tout[child]),
+            _ptr(np.ascontiguousarray(self._preorder, dtype=np.int64)),
+            _ptr(self.base),
+            _ptr(out),
+        )
+        if rc != 0:  # allocation failure inside the kernel
+            return super()._recompute_subtree(eid, child)
+        return out
+
+
+class CompiledEngine(CSREngine):
+    """csr engine with the sweep hot pair compiled to C (see module doc)."""
+
+    name = "csr-c"
+
+    @property
+    def compiler(self) -> str:
+        """The resolved toolchain line (``repro engines`` prints it).
+        Reading it triggers the on-demand compile, so the printed cache
+        path is the real loaded library."""
+        return cbuild.compiler_description()
+
+    @staticmethod
+    def available() -> bool:
+        """Registration gate: a C compiler exists and ``REPRO_CC`` != 0."""
+        return cbuild.available()
+
+    def _kernels(self) -> Optional[cbuild.KernelLib]:
+        return cbuild.kernel_library()
+
+    def distances(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        banned_edge: Optional[EdgeId] = None,
+        banned_edges: Optional[Set[EdgeId]] = None,
+        banned_vertices: Optional[Set[Vertex]] = None,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> List[int]:
+        kernels = self._kernels()
+        if kernels is None:
+            return super().distances(
+                graph,
+                source,
+                banned_edge=banned_edge,
+                banned_edges=banned_edges,
+                banned_vertices=banned_vertices,
+                allowed_edges=allowed_edges,
+            )
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(
+            csr.num_edges,
+            banned_edge=banned_edge,
+            banned_edges=banned_edges,
+            allowed_edges=allowed_edges,
+        )
+        vertex_ok = _vertex_ok_mask(csr.num_vertices, banned_vertices)
+        n = csr.num_vertices
+        dist = np.empty(n, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        kernels.bfs_order(
+            n,
+            _ptr(csr.indptr),
+            _ptr(csr.indices),
+            _ptr(csr.edge_ids),
+            source,
+            _ptr(edge_ok),
+            _ptr(vertex_ok),
+            _ptr(dist),
+            None,
+            None,
+            _ptr(order),
+        )
+        return dist.tolist()
+
+    def parents(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> Dict[Vertex, Vertex]:
+        kernels = self._kernels()
+        if kernels is None:
+            return super().parents(graph, source, allowed_edges=allowed_edges)
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
+        n = csr.num_vertices
+        dist = np.empty(n, dtype=np.int64)
+        parent = np.empty(n, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        visited = kernels.bfs_order(
+            n,
+            _ptr(csr.indptr),
+            _ptr(csr.indices),
+            _ptr(csr.edge_ids),
+            source,
+            _ptr(edge_ok),
+            None,
+            _ptr(dist),
+            _ptr(parent),
+            None,
+            _ptr(order),
+        )
+        reached = order[:visited]
+        return dict(
+            zip(reached.tolist(), parent[reached].tolist())
+        )
+
+    def sweep(
+        self,
+        graph: Graph,
+        source: Vertex,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> CompiledFailureSweep:
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
+        return CompiledFailureSweep(
+            csr, source, edge_ok=edge_ok, kernels=self._kernels()
+        )
+
+    def sweep_from_base_state(
+        self,
+        graph: Graph,
+        source: Vertex,
+        arrays,
+        *,
+        allowed_edges: Optional[Set[EdgeId]] = None,
+    ) -> CompiledFailureSweep:
+        _check_source(graph, source)
+        csr = csr_view(graph)
+        edge_ok = _edge_ok_mask(csr.num_edges, allowed_edges=allowed_edges)
+        return CompiledFailureSweep.from_base_state(
+            csr, source, arrays, edge_ok=edge_ok, kernels=self._kernels()
+        )

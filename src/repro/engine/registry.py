@@ -11,7 +11,11 @@ module costs nothing and works without numpy (the csr engine is simply
 absent then).  ``"sharded"`` (the process-sharded ``failure_sweep``
 wrapper, :mod:`repro.engine.sharded`) is always registered but never
 the implicit default — it is selected explicitly or by the verification
-oracle's large-graph threshold.
+oracle's large-graph threshold.  ``"csr-c"`` (the compiled-kernel
+engine, :mod:`repro.engine.compiled`) additionally requires a system C
+compiler (``REPRO_CC=0`` gates it out) and is likewise never the
+implicit default — the verification oracle prefers it over plain csr
+when present.
 """
 
 from __future__ import annotations
@@ -60,6 +64,14 @@ def _ensure_builtins() -> None:
     from repro.engine.threaded import ThreadedEngine
 
     register_engine(ThreadedEngine())
+    # The compiled backend shares the csr engine's arrays (and its numpy
+    # fallback paths), so it is additionally gated on a C toolchain:
+    # absent under REPRO_CC=0 or with no system compiler, exactly like
+    # csr is without numpy.  Compilation itself is deferred to first use.
+    from repro.engine.compiled import CompiledEngine
+
+    if CompiledEngine.available():
+        register_engine(CompiledEngine())
 
 
 def register_engine(engine: TraversalEngine) -> None:

@@ -1,0 +1,229 @@
+"""The compiled C engine (``csr-c``): gating, parity, fallback, caching.
+
+The acceptance bar is the usual one: bit-identity with the csr engine
+(and through it the python reference) on every accelerated primitive -
+masked distances, ordered parent maps, and both ends of the failure
+sweep (base BFS + Euler state, per-failure subtree recomputes) - plus
+clean degradation on every axis the backend can be missing:
+
+* no C compiler / ``REPRO_CC=0``: not registered at all (checked in a
+  subprocess - registration is resolved once per process);
+* compile or load failure after registration: the engine's methods
+  fall back to the inherited numpy kernels (same values);
+* rebuilt handles (the shm base-state path) interoperate bit-for-bit
+  with numpy-built ones in either direction.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("numpy")  # the compiled engine subclasses the csr engine
+import numpy as np
+
+from repro.engine import available_engines, distances_equal, get_engine
+from repro.engine import cbuild
+from repro.graphs import connected_gnp_graph
+
+from tests.conftest import graph_with_source
+from tests.test_engine_parity import masked_instance
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+HAVE_CSRC = "csr-c" in available_engines()
+requires_csrc = pytest.mark.skipif(
+    not HAVE_CSRC, reason="no C compiler: csr-c engine not registered"
+)
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _run_py(code: str, **env_overrides) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    # the subprocess asserts default-selection behavior: an ambient
+    # engine override (e.g. a REPRO_ENGINE=python matrix run) must not
+    # leak in.
+    env.pop("REPRO_ENGINE", None)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+
+
+class TestRegistration:
+    def test_registered_iff_toolchain_present(self):
+        assert ("csr-c" in available_engines()) == cbuild.available()
+
+    @requires_csrc
+    def test_never_the_implicit_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert get_engine().name != "csr-c"
+
+    @requires_csrc
+    def test_kernels_compile_and_cache(self):
+        lib = cbuild.kernel_library()
+        assert lib is not None
+        assert Path(lib.path).is_file()
+        assert Path(lib.path).parent == cbuild.cache_dir()
+        # memoized: the second lookup is the same loaded object
+        assert cbuild.kernel_library() is lib
+        assert str(lib.path) in get_engine("csr-c").compiler
+
+    def test_repro_cc_0_gates_the_engine_out(self):
+        """With the toolchain disabled, csr-c is absent from the registry
+        (and from ``repro engines``) while everything else still works -
+        the no-compiler analogue of csr's no-numpy gating."""
+        proc = _run_py(
+            "from repro.engine import available_engines, get_engine\n"
+            "names = available_engines()\n"
+            "assert 'csr-c' not in names, names\n"
+            "assert 'csr' in names and 'csr-mt' in names, names\n"
+            "assert get_engine('csr-mt').base_engine().name == 'csr'\n"
+            "from repro.graphs import connected_gnp_graph\n"
+            "from repro.core.verify import verify_subgraph, _resolve_engine\n"
+            "g = connected_gnp_graph(40, 0.1, seed=1)\n"
+            "assert _resolve_engine(g, None).name == 'csr'\n"
+            "assert verify_subgraph(g, 0, set(range(g.num_edges))).ok\n",
+            REPRO_CC="0",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    @requires_csrc
+    def test_bogus_compiler_degrades_to_numpy_at_runtime(self, tmp_path):
+        """A compiler that exists at registration but fails to compile:
+        the engine stays registered and its methods fall back (warning
+        once), bit-identically."""
+        proc = _run_py(
+            "import warnings\n"
+            "from repro.engine import get_engine\n"
+            "from repro.graphs import connected_gnp_graph\n"
+            "g = connected_gnp_graph(30, 0.15, seed=2)\n"
+            "eng = get_engine('csr-c')\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    d = eng.distances(g, 0)\n"
+            "assert any('csr-c' in str(w.message) for w in caught), caught\n"
+            "assert d == get_engine('csr').distances(g, 0)\n"
+            "ref = list(get_engine('csr').failure_sweep(g, 0, range(g.num_edges)))\n"
+            "got = list(eng.failure_sweep(g, 0, range(g.num_edges)))\n"
+            "assert all(list(a) == list(b) for a, b in zip(ref, got))\n",
+            REPRO_CC="false",  # /usr/bin/false: found by which, compiles nothing
+            REPRO_CC_CACHE=str(tmp_path / "kernels"),
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+@requires_csrc
+class TestParity:
+    @given(inst=masked_instance())
+    @settings(max_examples=60, **COMMON)
+    def test_masked_distances_match_reference(self, inst):
+        graph, source, kwargs = inst
+        assert get_engine("csr-c").distances(graph, source, **kwargs) == (
+            get_engine("python").distances(graph, source, **kwargs)
+        )
+
+    @given(gs=graph_with_source(max_vertices=24, connected=False))
+    @settings(max_examples=60, **COMMON)
+    def test_parents_match_reference_including_order(self, gs):
+        graph, source = gs
+        mine = get_engine("csr-c").parents(graph, source)
+        ref = get_engine("python").parents(graph, source)
+        assert mine == ref
+        assert list(mine) == list(ref)  # discovery order, not just mapping
+
+    @given(gs=graph_with_source(max_vertices=20), data=st.data())
+    @settings(max_examples=40, **COMMON)
+    def test_failure_sweep_bit_identical(self, gs, data):
+        graph, source = gs
+        m = graph.num_edges
+        allowed = None
+        if m and data.draw(st.booleans()):
+            allowed = set(
+                data.draw(st.lists(st.integers(0, m - 1), max_size=m))
+            )
+        eids = list(range(m + 1))  # one out-of-range id: no-op on both
+        ref = list(
+            get_engine("python").failure_sweep(
+                graph, source, eids, allowed_edges=allowed
+            )
+        )
+        got = list(
+            get_engine("csr-c").failure_sweep(
+                graph, source, eids, allowed_edges=allowed
+            )
+        )
+        assert len(ref) == len(got)
+        for r, x in zip(ref, got):
+            assert distances_equal(r, x)
+
+    def test_base_state_arrays_bit_identical_to_numpy(self):
+        """shm interop: the C-built handle publishes exactly the arrays
+        the numpy sweep would (same keys, dtypes, values)."""
+        graph = connected_gnp_graph(120, 0.06, seed=9)
+        mine = get_engine("csr-c").sweep(graph, 0)
+        ref = get_engine("csr").sweep(graph, 0)
+        for (k_mine, a_mine), (k_ref, a_ref) in zip(
+            mine.base_state(), ref.base_state()
+        ):
+            assert k_mine == k_ref
+            assert np.array_equal(np.asarray(a_mine), np.asarray(a_ref)), k_mine
+
+    def test_rebuilt_handles_interoperate_both_directions(self):
+        """A handle rebuilt from the *other* engine's base state answers
+        every failure identically - the sharded/shm worker path."""
+        graph = connected_gnp_graph(100, 0.07, seed=4)
+        compiled, numpy_eng = get_engine("csr-c"), get_engine("csr")
+        from_c = numpy_eng.sweep_from_base_state(
+            graph, 0, dict(compiled.sweep(graph, 0).base_state())
+        )
+        from_np = compiled.sweep_from_base_state(
+            graph, 0, dict(numpy_eng.sweep(graph, 0).base_state())
+        )
+        reference = numpy_eng.sweep(graph, 0)
+        for eid in range(graph.num_edges):
+            want = list(reference.failed(eid))
+            assert list(from_c.failed(eid)) == want
+            assert list(from_np.failed(eid)) == want
+
+    def test_verify_report_identical(self):
+        from repro.core.verify import verify_subgraph
+
+        graph = connected_gnp_graph(80, 0.08, seed=5)
+        h = set(range(0, graph.num_edges, 2)) | {0, 1}
+        ref = verify_subgraph(graph, 0, h, engine="csr")
+        got = verify_subgraph(graph, 0, h, engine="csr-c")
+        assert got.ok == ref.ok
+        assert got.checked_failures == ref.checked_failures
+        assert got.violations == ref.violations
+
+    def test_threaded_windows_over_compiled_base(self):
+        """csr-mt prefers csr-c as its base and stays bit-identical."""
+        from repro.engine import ThreadedEngine
+
+        assert get_engine("csr-mt").base_engine().name == "csr-c"
+        graph = connected_gnp_graph(90, 0.08, seed=7)
+        eids = list(range(graph.num_edges))
+        ref = list(get_engine("csr").failure_sweep(graph, 0, eids))
+        engine = ThreadedEngine(base="csr-c", max_threads=4, min_batch=1)
+        for r, x in zip(ref, engine.failure_sweep(graph, 0, eids)):
+            assert distances_equal(r, x)
+
+
+@requires_csrc
+class TestVerifyUpgrade:
+    def test_small_graph_default_upgrades_csr_to_compiled(self, monkeypatch):
+        from repro.core.verify import _resolve_engine
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        graph = connected_gnp_graph(40, 0.1, seed=0)
+        assert _resolve_engine(graph, None).name == "csr-c"
+        # an explicit engine always wins over the upgrade
+        assert _resolve_engine(graph, "csr").name == "csr"
+        assert _resolve_engine(graph, "python").name == "python"
