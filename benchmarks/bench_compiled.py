@@ -143,6 +143,18 @@ def test_compiled_kernels_vs_csr(benchmark, quick_mode, bench_seed):
             round(verify_csr, 4), round(verify_c, 4),
             round(mt_csr_s, 4), round(mt_c_s, 4),
         )
+        if index == len(_instances(quick_mode)) - 1:
+            # Floors + measured ratios for tools/perf_guard.py (quick
+            # runs stamp sanity floors; the asserts below stay
+            # full-size-only).
+            record.params["floors"] = {
+                "sweep_csrc_vs_csr": 0.7 if quick_mode else _SWEEP_FLOOR,
+                "mt_csrc_vs_mt_csr": 0.5 if quick_mode else _WALLCLOCK_FLOOR,
+            }
+            record.derived["speedups"] = {
+                "sweep_csrc_vs_csr": round(sweep_csr / max(sweep_c, 1e-9), 3),
+                "mt_csrc_vs_mt_csr": round(mt_csr_s / max(mt_c_s, 1e-9), 3),
+            }
         if not quick_mode and index == len(_instances(quick_mode)) - 1:
             assert sweep_c <= sweep_csr / _SWEEP_FLOOR, (
                 f"compiled sweep speedup below the {_SWEEP_FLOOR}x floor on "

@@ -3,25 +3,33 @@
 Measures what the PR 3 refactor is for: the *construction* traversals
 (the tree Dijkstra of ``build_spt``, the subtree-restricted replacement
 recomputes, and the detour Dijkstras of ``Pcons``) under the random
-weight scheme, python reference vs csr array kernels, on a G(n, p) with
->= 50k edges.  Since PR 4 the csr engine runs the replacement recomputes
-through the stacked ``weighted_failure_sweep`` and the detours through
-``batched_shortest_paths``, which raised the acceptance floor from 3x to
-a 4.5x end-to-end ``run_pcons`` speedup (``bench_replacement.py`` breaks
-the two components out).  Outputs are asserted bit-identical between
-engines first, so the timing row doubles as a parity certificate.  Saves
-``BENCH_weighted.json``.
+weight scheme, on a G(n, p) with >= 50k edges, across the engine stack:
+python reference, csr array kernels, and - when a C compiler is
+around - the compiled ``csr-c`` backend whose weighted relaxation runs
+in ``_ckernels.c``.  Since PR 4 the csr engine runs the replacement
+recomputes through the stacked ``weighted_failure_sweep`` and the
+detours through ``batched_shortest_paths``, which raised the acceptance
+floor from 3x to a 4.5x end-to-end ``run_pcons`` speedup
+(``bench_replacement.py`` breaks the two components out); PR 8 adds the
+compiled rows with their own floors - ``run_pcons`` and the standalone
+weighted failure sweep, csr-c vs csr.  Outputs are asserted
+bit-identical between engines first, so every timing row doubles as a
+parity certificate.  The compile toolchain (cc version, flags, kernel
+cache path) is stamped into the record's params, and the floors plus
+the measured speedups land in ``params["floors"]`` /
+``derived["speedups"]`` where ``tools/perf_guard.py`` reads them.
+Saves ``BENCH_weighted.json``.
 
 Quick mode (``REPRO_BENCH_QUICK=1``) shrinks the instance so CI stays
-short; the 3x floor applies only to the full-size run (tiny instances
+short; the real floors apply only to the full-size run (tiny instances
 sit in the regime where per-call numpy overhead flattens the margin),
-quick mode asserts parity plus a sanity floor.
+quick mode asserts parity plus relaxed sanity floors.
 """
 
 import time
 
 from repro.core.pcons import run_pcons
-from repro.engine import engine_context, get_engine
+from repro.engine import available_engines, cbuild, engine_context, get_engine
 from repro.graphs import connected_gnp_graph
 from repro.harness import ExperimentRecord, save_record
 
@@ -30,19 +38,48 @@ from repro.harness import ExperimentRecord, save_record
 #: subsystem (stacked sweep + detour batch) raised it past 4.5x.
 SPEEDUP_FLOOR = 4.5
 
+#: Compiled floors, csr-c over csr on the full-size instance: end-to-end
+#: ``run_pcons`` (measured ~3x) and the standalone weighted failure
+#: sweep (measured ~1.8x; the numpy seed intake the csr path keeps is a
+#: large shared fraction of the sweep, so its margin is structurally
+#: thinner than the pcons one).
+COMPILED_PCONS_FLOOR = 1.3
+COMPILED_SWEEP_FLOOR = 1.5
+
+#: Quick-mode sanity floor for the compiled ratios: tiny instances only
+#: prove csr-c is not pathologically slower, not the real margins.
+_QUICK_SANITY = 0.7
+
 
 def _instance(quick: bool):
     n, deg = (1500, 12.0) if quick else (5000, 20.0)
     return connected_gnp_graph(n, deg / (n - 1), seed=0)
 
 
+def _engines():
+    names = ["python", "csr"]
+    if "csr-c" in available_engines() and cbuild.kernel_library() is not None:
+        names.append("csr-c")
+    return names
+
+
+def _best_of(reps, fn):
+    best, out = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
 def test_weighted_construction_speedup(benchmark, quick_mode, bench_seed):
     graph = _instance(quick_mode)
     assert quick_mode or graph.num_edges >= 50_000
+    engines = _engines()
 
     results = {}
     timings = {}
-    for name in ("python", "csr"):
+    for name in engines:
         with engine_context(name):
             if name == "csr":
                 t0 = time.perf_counter()
@@ -63,27 +100,73 @@ def test_weighted_construction_speedup(benchmark, quick_mode, bench_seed):
 
     # Bit-identical construction output is a precondition of the timing
     # comparison: same tree, same replacement distances, same pairs.
-    ref, fast = results["python"], results["csr"]
-    assert ref.tree.dist == fast.tree.dist
-    assert ref.tree.parent == fast.tree.parent
-    assert ref.tree.parent_eid == fast.tree.parent_eid
-    assert ref.pairs.pairs == fast.pairs.pairs
+    ref = results["python"]
+    for name in engines[1:]:
+        fast = results[name]
+        assert ref.tree.dist == fast.tree.dist, name
+        assert ref.tree.parent == fast.tree.parent, name
+        assert ref.tree.parent_eid == fast.tree.parent_eid, name
+        assert ref.pairs.pairs == fast.pairs.pairs, name
 
-    speedup = timings["python"] / max(timings["csr"], 1e-9)
+    # The standalone weighted failure sweep, csr vs csr-c: the hot
+    # primitive behind the replacement recomputes (and the shm/threaded
+    # sharding), timed over one shared tree.
+    sweep_engines = [e for e in ("csr", "csr-c") if e in engines]
+    tree, weights = results["csr"].tree, results["csr"].weights
+    sweep_t = {}
+    sweep_out = {}
+    reps = 2 if quick_mode else 3
+    for name in sweep_engines:
+        eng = get_engine(name)
+        sweep_t[name], sweep_out[name] = _best_of(
+            reps, lambda: list(eng.weighted_failure_sweep(graph, weights, tree))
+        )
+    for name in sweep_engines[1:]:
+        assert sweep_out[name] == sweep_out["csr"], name
+
+    if quick_mode:
+        floors = {
+            "pcons_csr_vs_python": 1.0,
+            "pcons_csrc_vs_csr": _QUICK_SANITY,
+            "sweep_csrc_vs_csr": _QUICK_SANITY,
+        }
+    else:
+        floors = {
+            "pcons_csr_vs_python": SPEEDUP_FLOOR,
+            "pcons_csrc_vs_csr": COMPILED_PCONS_FLOOR,
+            "sweep_csrc_vs_csr": COMPILED_SWEEP_FLOOR,
+        }
+    speedups = {
+        "pcons_csr_vs_python": round(
+            timings["python"] / max(timings["csr"], 1e-9), 3
+        ),
+    }
+    if "csr-c" in engines:
+        speedups["pcons_csrc_vs_csr"] = round(
+            timings["csr"] / max(timings["csr-c"], 1e-9), 3
+        )
+        speedups["sweep_csrc_vs_csr"] = round(
+            sweep_t["csr"] / max(sweep_t["csr-c"], 1e-9), 3
+        )
+
     record = ExperimentRecord(
         experiment_id="BENCH_weighted",
-        title="Weighted fast path: run_pcons python vs csr (random scheme)",
+        title="Weighted fast path: run_pcons + failure sweep per engine "
+              "(random scheme)",
         columns=[
             "n", "m", "weight_scheme", "engine", "weighted_backend",
-            "t_pcons_s", "speedup_vs_python", "pairs", "uncovered",
+            "t_pcons_s", "speedup_vs_python", "t_sweep_s",
+            "sweep_speedup_vs_csr", "pairs", "uncovered",
         ],
         params={
             "quick": quick_mode,
             "seed": bench_seed,
-            "speedup_floor": SPEEDUP_FLOOR if not quick_mode else 1.0,
+            "toolchain": cbuild.toolchain_info(),
+            "floors": floors,
         },
     )
-    for name in ("python", "csr"):
+    record.derived["speedups"] = speedups
+    for name in engines:
         record.add_row(
             graph.num_vertices,
             graph.num_edges,
@@ -92,27 +175,33 @@ def test_weighted_construction_speedup(benchmark, quick_mode, bench_seed):
             get_engine(name).weighted_backend,
             round(timings[name], 3),
             round(timings["python"] / max(timings[name], 1e-9), 2),
+            round(sweep_t[name], 3) if name in sweep_t else None,
+            round(sweep_t["csr"] / max(sweep_t[name], 1e-9), 2)
+            if name in sweep_t else None,
             results[name].stats.num_pairs,
             results[name].stats.num_uncovered,
         )
     record.note(
         "construction path = build_spt + subtree replacement recomputes + "
-        "detour Dijkstras (run_pcons end to end)"
+        "detour Dijkstras (run_pcons end to end); t_sweep_s = standalone "
+        "weighted_failure_sweep over the shared tree (best of "
+        f"{reps}; python omitted: its reference loop is out of scale)"
     )
     record.note(
-        f"acceptance floor: {SPEEDUP_FLOOR}x on the full-size instance "
-        "(>= 50k edges, random scheme)"
+        f"acceptance floors (full-size, >= 50k edges, random scheme): "
+        f"{SPEEDUP_FLOOR}x csr vs python pcons; {COMPILED_PCONS_FLOOR}x / "
+        f"{COMPILED_SWEEP_FLOOR}x csr-c vs csr pcons / sweep"
     )
     print()
     print(record.render())
     save_record(record)
 
-    floor = 1.0 if quick_mode else SPEEDUP_FLOOR
-    assert speedup >= floor, (
-        f"weighted construction speedup {speedup:.2f}x below the "
-        f"{floor}x floor (python {timings['python']:.2f}s vs "
-        f"csr {timings['csr']:.2f}s)"
-    )
+    failures = [
+        f"{key}: {speedups[key]:.2f}x below the {floors[key]}x floor"
+        for key in speedups
+        if speedups[key] < floors[key]
+    ]
+    assert not failures, "; ".join(failures)
 
 
 def test_micro_weighted_sssp(benchmark, quick_mode):

@@ -158,7 +158,7 @@ def _cmd_engines() -> int:
         engine = get_engine(name)
         marker = "  (default)" if name == default else ""
         print(f"  {name:<8} {type(engine).__name__}{marker}")
-        print(f"  {'':<8}   weighted: {engine.weighted_backend}")
+        print(f"  {'':<8}   weighted_backend: {engine.weighted_backend}")
         print(f"  {'':<8}   replacement: {engine.replacement_backend}")
         print(f"  {'':<8}   detours: {engine.detour_backend}")
         print(f"  {'':<8}   transport: {engine.transport}")

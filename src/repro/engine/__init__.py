@@ -61,10 +61,16 @@ Built-in engines
     prefers ``csr-c`` when registered, so thread windows run the
     compiled kernels for free.
 ``"csr-c"``
-    The csr engine with the sweep hot pair - the ordered base BFS +
-    Euler walk and the per-failure subtree recompute - compiled to C
-    flat loops over the same cached CSR arrays
-    (:mod:`repro.engine.compiled`).  ``_ckernels.c`` is compiled once
+    The csr engine with the traversal hot paths - the sweep hot pair
+    (ordered base BFS + Euler walk, per-failure subtree recompute) and
+    the weighted ``(hops, pert_sum)`` stacked relaxation behind
+    ``run_pcons``, the weighted failure sweep, and the batched
+    shortest-path primitives - compiled to C flat loops over the same
+    cached CSR arrays (:mod:`repro.engine.compiled`).  Exact-scheme
+    weighted runs keep the big-int reference path (their perturbations
+    are not int64-representable), and the reference's order-dependent
+    tie events bail back to the numpy replay - same exceptions, same
+    messages.  ``_ckernels.c`` is compiled once
     on demand by the system compiler into a hash-keyed cache
     (:mod:`repro.engine.cbuild`) and loaded via ctypes; registered only
     when numpy *and* a C compiler are present (``REPRO_CC=0`` gates it

@@ -1,4 +1,6 @@
-/* Flat-loop C implementations of the sweep hot pair.
+/* Flat-loop C implementations of the traversal hot paths: the sweep
+ * hot pair (ordered BFS + Euler-interval subtree recompute) and the
+ * weighted (hops, pert_sum) level relaxation.
  *
  * Compiled on demand by repro.engine.cbuild with the system C compiler
  * and loaded through ctypes; repro/engine/compiled.py is the only
@@ -25,6 +27,22 @@
  * - The subtree recompute settles levels in increasing order; its
  *   output is a distance vector (order-free values), identical to the
  *   numpy multi-level-seeded BFS by the same unit-weight argument.
+ *
+ * Bit-identity with repro/engine/weighted_kernels.py:
+ *
+ * - The weighted relaxation settles each hop level in (pert, vertex)
+ *   order - the reference heap's pop order - and relaxes each settled
+ *   vertex's out-edges in CSR order, so candidates arrive per target
+ *   in exactly the reference's arrival order.  A direct running-min
+ *   per target therefore reproduces the reference's order-dependent
+ *   state verbatim; the numpy path's lexsort-group machinery and its
+ *   duplicate replay are vectorization workarounds for the same
+ *   sequential semantics, not extra behavior.
+ * - The order-dependent tie event - a candidate equal to the target's
+ *   current running minimum through a different edge - is detected
+ *   exactly (not over-approximated): the kernel bails out and the
+ *   caller reruns the traversal on the numpy path, which raises the
+ *   reference's TieBreakError with the reference's message.
  */
 
 #include <stdint.h>
@@ -301,4 +319,205 @@ int64_t repro_recompute_subtree(
     }
     free(tent); free(keys); free(act); free(fr); free(nx);
     return 0;
+}
+
+/* A settling vertex: sorted by (pert, id), the reference heap's pop
+ * order.  Stacked layers keep this exact within a level too - layer
+ * offsets are multiples of n_base, so global-id order within a layer
+ * equals local-id order. */
+typedef struct {
+    int64_t pert;
+    int64_t id;
+} wl_entry;
+
+static int cmp_wl_entry(const void *a, const void *b)
+{
+    const wl_entry *x = (const wl_entry *)a;
+    const wl_entry *y = (const wl_entry *)b;
+    if (x->pert != y->pert)
+        return (x->pert > y->pert) - (x->pert < y->pert);
+    return (x->id > y->id) - (x->id < y->id);
+}
+
+/* weighted_levels equivalent: seed intake plus the level-synchronous
+ * two-array (hops, pert_sum) relaxation over n_total = B * n_base
+ * stacked layers (pass n_total == n_base for a plain single-layer
+ * run).  Seeds arrive as raw columns in the reference's arrival order
+ * and go through the reference's sequential running-min intake: a
+ * strictly smaller (hop, pert) label overwrites, equality through a
+ * different entry edge is the reference's seed tie (bail, see below),
+ * and a seed outside the allowed set - or out of array range entirely -
+ * bails before touching anything.  The surviving per-vertex labels,
+ * sorted by (hop, id), form the drain schedule: each level merges due
+ * schedule entries with the carried relaxation frontier, drops entries
+ * whose label moved on (settled, or hop_t no longer equal to the
+ * level - the bucket drain's filter), settles the survivors in
+ * (pert, id) order, and streams their out-edges through the ban/allow
+ * filters.  banned_eid (optional, length B) drops layer b's one banned
+ * edge id, exactly like the stacked expander.
+ *
+ * Targets holding a tentative next-level label (seed incumbents) keep
+ * the reference's running-min semantics: strict improvement overwrites
+ * (first arrival among equals wins and is never displaced), equality
+ * through a different edge is the reference's tie event.
+ *
+ * Returns 0 on completion; on any bail-out the caller resets and
+ * reruns the traversal on the numpy path, which reproduces the
+ * reference's outcome - the tie/validation error with its message, or
+ * (bail_on_dup unset) the tie-ignoring result: 1 = relaxation tie
+ * (only raised with bail_on_dup), 2 = seed tie or invalid seed, -1 =
+ * allocation failure.  State may be left mid-run on 1/-1; 2 happens
+ * before any relaxation but after some intake writes (all within the
+ * allowed positions). */
+int64_t repro_weighted_levels(
+    int64_t n_total,
+    int64_t n_base,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *edge_ids,
+    const int64_t *pert_edge,
+    const uint8_t *edge_ok,
+    const uint8_t *vertex_ok,
+    const uint8_t *allowed_ok,
+    const int64_t *banned_eid,
+    int64_t nseeds,
+    const int64_t *seed_hop,
+    const int64_t *seed_pert,
+    const int64_t *seed_vertex,
+    const int64_t *seed_parent,
+    const int64_t *seed_parent_eid,
+    int64_t bail_on_dup,
+    uint8_t *settled,
+    int64_t *hop_t,
+    int64_t *pert_t,
+    int64_t *parent,
+    int64_t *parent_eid)
+{
+    if (nseeds <= 0)
+        return 0;
+    wl_entry *sched = malloc((size_t)nseeds * sizeof(wl_entry));
+    wl_entry *act = malloc((size_t)n_total * sizeof(wl_entry));
+    int64_t *fr = malloc((size_t)n_total * sizeof(int64_t));
+    int64_t *nx = malloc((size_t)n_total * sizeof(int64_t));
+    if (!sched || !act || !fr || !nx) {
+        free(sched); free(act); free(fr); free(nx);
+        return -1;
+    }
+    int64_t rc = 0;
+
+    /* Intake.  First-touch detection rides on the entry contract that
+     * hop_t is -1 at every position this run may label. */
+    int64_t nsched = 0;
+    for (int64_t j = 0; j < nseeds; j++) {
+        int64_t v = seed_vertex[j];
+        if (v < 0 || v >= n_total || (allowed_ok && !allowed_ok[v])) {
+            rc = 2;
+            break;
+        }
+        int64_t h0 = seed_hop[j], p0 = seed_pert[j];
+        int64_t ch = hop_t[v];
+        if (ch == -1 || h0 < ch || (h0 == ch && p0 < pert_t[v])) {
+            if (ch == -1)
+                sched[nsched++].id = v;  /* hop key assigned post-intake */
+            hop_t[v] = h0;
+            pert_t[v] = p0;
+            parent[v] = seed_parent[j];
+            parent_eid[v] = seed_parent_eid[j];
+        } else if (h0 == ch && p0 == pert_t[v] &&
+                   seed_parent_eid[j] != parent_eid[v]) {
+            rc = 2;  /* the reference's seed tie (raise or not: rerun) */
+            break;
+        }
+    }
+    if (rc != 0) {
+        free(sched); free(act); free(fr); free(nx);
+        return rc;
+    }
+    for (int64_t j = 0; j < nsched; j++)
+        sched[j].pert = hop_t[sched[j].id];  /* final label's hop */
+    qsort(sched, (size_t)nsched, sizeof(wl_entry), cmp_wl_entry);
+
+    int64_t sp = 0;          /* next unconsumed schedule entry */
+    int64_t flen = 0;        /* carried relaxation frontier size ... */
+    int64_t flevel = 0;      /* ... and its level */
+    while (sp < nsched || flen > 0) {
+        int64_t lvl;
+        if (flen > 0)
+            lvl = flevel;
+        else
+            lvl = sched[sp].pert;
+        if (sp < nsched && sched[sp].pert < lvl)
+            lvl = sched[sp].pert;
+        int64_t alen = 0;
+        while (sp < nsched && sched[sp].pert == lvl) {
+            int64_t v = sched[sp++].id;
+            if (!settled[v] && hop_t[v] == lvl) {
+                settled[v] = 1;
+                act[alen].pert = pert_t[v];
+                act[alen].id = v;
+                alen++;
+            }
+        }
+        if (flen > 0 && flevel == lvl) {
+            for (int64_t j = 0; j < flen; j++) {
+                int64_t v = fr[j];
+                if (!settled[v] && hop_t[v] == lvl) {
+                    settled[v] = 1;
+                    act[alen].pert = pert_t[v];
+                    act[alen].id = v;
+                    alen++;
+                }
+            }
+            flen = 0;
+        }
+        qsort(act, (size_t)alen, sizeof(wl_entry), cmp_wl_entry);
+        int64_t nlen = 0;
+        for (int64_t j = 0; j < alen && rc == 0; j++) {
+            int64_t v = act[j].id;
+            int64_t local = v % n_base;
+            int64_t off = v - local;
+            int64_t ban = banned_eid ? banned_eid[v / n_base] : -1;
+            int64_t pv = pert_t[v];
+            for (int64_t k = indptr[local]; k < indptr[local + 1]; k++) {
+                int64_t e = edge_ids[k];
+                if (e == ban) continue;
+                if (edge_ok && !edge_ok[e]) continue;
+                int64_t w = indices[k] + off;
+                if (settled[w]) continue;
+                if (vertex_ok && !vertex_ok[w]) continue;
+                if (allowed_ok && !allowed_ok[w]) continue;
+                int64_t c = pv + pert_edge[e];
+                if (hop_t[w] == lvl + 1) {
+                    /* Running next-level label (a seed incumbent or an
+                     * earlier arrival this level - both won every
+                     * comparison so far). */
+                    if (c < pert_t[w]) {
+                        pert_t[w] = c;
+                        parent[w] = v;
+                        parent_eid[w] = e;
+                    } else if (c == pert_t[w] && parent_eid[w] != e &&
+                               bail_on_dup) {
+                        rc = 1;
+                        break;
+                    }
+                } else {
+                    /* First touch this level; a stale label from a
+                     * higher hop (never settled, never comparable) is
+                     * plainly overwritten, like any unlabeled target. */
+                    hop_t[w] = lvl + 1;
+                    pert_t[w] = c;
+                    parent[w] = v;
+                    parent_eid[w] = e;
+                    nx[nlen++] = w;
+                }
+            }
+        }
+        if (rc != 0)
+            break;
+        int64_t *tmp = fr; fr = nx; nx = tmp;
+        flen = nlen;
+        flevel = lvl + 1;
+    }
+    free(sched); free(act); free(fr); free(nx);
+    return rc;
 }

@@ -1,7 +1,8 @@
 """Compile-on-demand loader for the ``csr-c`` engine's C kernels.
 
-``_ckernels.c`` (the sweep hot pair: ordered BFS + Euler walk, subtree
-recompute) ships as source; no wheel, no build step at install time.
+``_ckernels.c`` (the sweep hot pair - ordered BFS + Euler walk, subtree
+recompute - and the weighted stacked-level relaxation) ships as source;
+no wheel, no build step at install time.
 The first time the compiled engine needs its kernels this module
 
 1. finds a system C compiler (``$REPRO_CC`` override > ``$CC`` >
@@ -184,6 +185,12 @@ class KernelLib:
         self.recompute_subtree.restype = i64
         self.recompute_subtree.argtypes = [
             i64, ptr, ptr, ptr, ptr, i64, ptr, i64, i64, ptr, ptr, ptr,
+        ]
+        self.weighted_levels = dll.repro_weighted_levels
+        self.weighted_levels.restype = i64
+        self.weighted_levels.argtypes = [
+            i64, i64, ptr, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+            i64, ptr, ptr, ptr, ptr, ptr, i64, ptr, ptr, ptr, ptr, ptr,
         ]
 
 

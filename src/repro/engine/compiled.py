@@ -1,25 +1,40 @@
-"""The compiled-kernel engine (``csr-c``): C loops for the sweep hot pair.
+"""The compiled-kernel engine (``csr-c``): C loops for the traversal hot paths.
 
-:class:`CompiledEngine` subclasses the csr engine and replaces exactly
-the two kernels every single-edge-failure sweep spends its time in -
-the ordered base BFS (+ Euler walk) and the per-failure subtree
-recompute - with the flat C loops of ``_ckernels.c``, compiled on
-demand and loaded by :mod:`repro.engine.cbuild`.  The C functions read
-the same cached CSR int64 arrays and boolean masks through raw
-pointers and fill caller-allocated numpy outputs, so results are
-**bit-identical** to the numpy kernels (same adjacency-order
-tie-breaking, enforced by the parity suites under
+:class:`CompiledEngine` subclasses the csr engine and replaces the
+kernels the experiment suite spends its time in - the sweep hot pair
+(ordered base BFS + Euler walk, per-failure subtree recompute) and the
+weighted ``(hops, pert_sum)`` level relaxation behind ``run_pcons``,
+``weighted_failure_sweep``, and the batched shortest-path primitives -
+with the flat C loops of ``_ckernels.c``, compiled on demand and loaded
+by :mod:`repro.engine.cbuild`.  The C functions read the same cached
+CSR int64 arrays and boolean masks through raw pointers and fill
+caller-allocated numpy outputs, so results are **bit-identical** to the
+numpy kernels (same adjacency-order tie-breaking, same weighted settle
+order and tie events, enforced by the parity suites under
 ``REPRO_ENGINE=csr-c``) while skipping numpy's per-level array
-orchestration.  Everything the C side does not accelerate - weighted
-traversals, the batched replacement subsystem, subset queries - is
-inherited from :class:`~repro.engine.csr_engine.CSREngine` unchanged.
+orchestration.
+
+The weighted routing goes through ``CSREngine._weighted_levels``, so
+every weighted surface - single-source, seeded, the stacked batched
+variants, the chunked ``PreparedWeightedSweep`` - lands on the one C
+kernel, seed intake (running-min semantics) included.  The Python-side
+gating is unchanged: the exact
+scheme's ``2**eid`` perturbations are not int64-representable, so
+:func:`~repro.engine.weighted_kernels.weighted_plan` routes them to the
+big-int reference Dijkstra before any kernel - numpy or C - is
+considered.  When the C kernel detects the reference's order-dependent
+tie event it bails out and the traversal reruns on the numpy path,
+which replays ties exactly and raises the reference's
+:class:`~repro.errors.TieBreakError`, message and all.
 
 Because ctypes releases the GIL around every call, the ``csr-mt``
-engine windows these kernels across genuinely concurrent threads by
-simply using ``csr-c`` as its base engine (its default when this
-engine is registered), and the sharded/shm plane is untouched: the
-arrays are the same, and :class:`CompiledFailureSweep` publishes and
-rebuilds the exact base state the numpy sweep does.
+engine windows these kernels - unweighted and weighted alike - across
+genuinely concurrent threads by simply using ``csr-c`` as its base
+engine (its default when this engine is registered), and the
+sharded/shm plane is untouched: the arrays are the same,
+:class:`CompiledFailureSweep` publishes and rebuilds the exact base
+state the numpy sweep does, and the shm tree plane's mapped arrays
+feed the weighted sweep's C kernel zero-copy.
 
 Degradation mirrors the csr engine's no-numpy gating: with no working
 compiler (or under ``REPRO_CC=0``) the engine is not registered at
@@ -39,6 +54,7 @@ from repro.engine.csr import CSRAdjacency, csr_view
 from repro.engine.csr_engine import CSREngine, _edge_ok_mask, _vertex_ok_mask
 from repro.engine.kernels import FailureSweep
 from repro.engine.python_engine import _check_source
+from repro.engine.weighted_kernels import SeedArrays
 from repro.graphs.graph import Graph
 
 __all__ = ["CompiledEngine", "CompiledFailureSweep"]
@@ -155,7 +171,7 @@ class CompiledFailureSweep(FailureSweep):
 
 
 class CompiledEngine(CSREngine):
-    """csr engine with the sweep hot pair compiled to C (see module doc)."""
+    """csr engine with the traversal hot paths compiled to C (see module doc)."""
 
     name = "csr-c"
 
@@ -166,6 +182,24 @@ class CompiledEngine(CSREngine):
         path is the real loaded library."""
         return cbuild.compiler_description()
 
+    @property
+    def weighted_backend(self) -> str:
+        if self._kernels() is None:
+            return "inherited numpy " + CSREngine.weighted_backend
+        return "compiled C levels (random scheme) + reference fallback"
+
+    @property
+    def replacement_backend(self) -> str:
+        if self._kernels() is None:
+            return "inherited numpy " + CSREngine.replacement_backend
+        return "compiled C stacked subtree sweep (random scheme) + reference fallback"
+
+    @property
+    def detour_backend(self) -> str:
+        if self._kernels() is None:
+            return "inherited numpy " + CSREngine.detour_backend
+        return "compiled C stacked levels (random scheme) + reference fallback"
+
     @staticmethod
     def available() -> bool:
         """Registration gate: a C compiler exists and ``REPRO_CC`` != 0."""
@@ -173,6 +207,106 @@ class CompiledEngine(CSREngine):
 
     def _kernels(self) -> Optional[cbuild.KernelLib]:
         return cbuild.kernel_library()
+
+    def _weighted_levels(
+        self,
+        csr,
+        perts: np.ndarray,
+        seeds,
+        *,
+        edge_ok: Optional[np.ndarray] = None,
+        vertex_ok: Optional[np.ndarray] = None,
+        allowed_ok: Optional[np.ndarray] = None,
+        raise_on_tie: bool = True,
+        scheme: str,
+        num_vertices: Optional[int] = None,
+        stacked: bool = False,
+        banned_eid_per_batch: Optional[np.ndarray] = None,
+        state=None,
+        touched: Optional[np.ndarray] = None,
+        layer_width: Optional[int] = None,
+    ):
+        """The weighted relaxation routed through the C kernel.
+
+        The whole traversal - seed intake (running-min semantics) and
+        the level loop - is one GIL-free foreign call over the raw seed
+        columns.  A non-zero return (the reference's order-dependent
+        tie event, a seed tie or invalid seed, or scratch allocation
+        failure) restores any caller-owned state via ``touched`` and
+        reruns the whole traversal on the numpy path, reproducing the
+        reference's outcome - including which exception, with which
+        message - exactly.
+        """
+        kernels = self._kernels()
+        if kernels is None:
+            return super()._weighted_levels(
+                csr, perts, seeds,
+                edge_ok=edge_ok, vertex_ok=vertex_ok, allowed_ok=allowed_ok,
+                raise_on_tie=raise_on_tie, scheme=scheme,
+                num_vertices=num_vertices, stacked=stacked,
+                banned_eid_per_batch=banned_eid_per_batch,
+                state=state, touched=touched, layer_width=layer_width,
+            )
+        n = csr.num_vertices if num_vertices is None else num_vertices
+        if state is not None:
+            settled, hop_t, pert_t, parent, parent_eid = state
+        else:
+            hop_t = np.full(n, -1, dtype=np.int64)
+            pert_t = np.zeros(n, dtype=np.int64)
+            parent = np.full(n, -1, dtype=np.int64)
+            parent_eid = np.full(n, -1, dtype=np.int64)
+            settled = np.zeros(n, dtype=bool)
+        if isinstance(seeds, SeedArrays):
+            cols = (seeds.hop, seeds.pert, seeds.vertex,
+                    seeds.parent, seeds.parent_eid)
+        elif seeds:
+            cols = tuple(zip(*seeds))
+        else:
+            cols = ()
+        if cols and len(cols[0]):
+            cols = tuple(np.ascontiguousarray(c, dtype=np.int64) for c in cols)
+            rc = kernels.weighted_levels(
+                n,
+                csr.num_vertices,
+                _ptr(csr.indptr),
+                _ptr(csr.indices),
+                _ptr(csr.edge_ids),
+                _ptr(perts),
+                _ptr(edge_ok),
+                _ptr(vertex_ok),
+                _ptr(allowed_ok),
+                _ptr(banned_eid_per_batch),
+                len(cols[0]),
+                _ptr(cols[0]),
+                _ptr(cols[1]),
+                _ptr(cols[2]),
+                _ptr(cols[3]),
+                _ptr(cols[4]),
+                1 if raise_on_tie else 0,
+                _ptr(settled),
+                _ptr(hop_t),
+                _ptr(pert_t),
+                _ptr(parent),
+                _ptr(parent_eid),
+            )
+            if rc != 0:
+                if state is not None:
+                    # Every write (intake and kernel alike) lands on
+                    # allowed positions, so resetting the caller's
+                    # touched set restores the buffers' entry contract.
+                    reset = touched if touched is not None else slice(None)
+                    settled[reset] = False
+                    hop_t[reset] = -1
+                return super()._weighted_levels(
+                    csr, perts, seeds,
+                    edge_ok=edge_ok, vertex_ok=vertex_ok,
+                    allowed_ok=allowed_ok, raise_on_tie=raise_on_tie,
+                    scheme=scheme, num_vertices=num_vertices,
+                    stacked=stacked,
+                    banned_eid_per_batch=banned_eid_per_batch,
+                    state=state, touched=touched, layer_width=layer_width,
+                )
+        return settled, hop_t, pert_t, parent, parent_eid
 
     def distances(
         self,

@@ -243,6 +243,56 @@ class CSREngine(PythonEngine):
         return FailureSweep.from_base_state(csr, source, arrays, edge_ok=edge_ok)
 
     # -- weighted traversals (array fast path + reference fallback) ----
+    def _weighted_levels(
+        self,
+        csr,
+        perts: np.ndarray,
+        seeds,
+        *,
+        edge_ok: Optional[np.ndarray] = None,
+        vertex_ok: Optional[np.ndarray] = None,
+        allowed_ok: Optional[np.ndarray] = None,
+        raise_on_tie: bool = True,
+        scheme: str,
+        num_vertices: Optional[int] = None,
+        stacked: bool = False,
+        banned_eid_per_batch: Optional[np.ndarray] = None,
+        state=None,
+        touched: Optional[np.ndarray] = None,
+        layer_width: Optional[int] = None,
+    ):
+        """Engine hook behind every weighted relaxation.
+
+        Same contract as :func:`weighted_levels`, but the expansion is
+        described structurally (``stacked`` + ``banned_eid_per_batch``)
+        instead of as an opaque closure, so subclasses can route the
+        relaxation elsewhere - the compiled engine overrides this with
+        its C kernel.  ``touched`` names the state positions a caller-
+        owned ``state`` run may write (the restricted sweep's subtree
+        ids); implementations that bail mid-run use it to restore the
+        buffers before retrying.
+        """
+        del touched  # the numpy path never dirties state without finishing
+        expand = (
+            stacked_expander(csr, banned_eid_per_batch=banned_eid_per_batch)
+            if stacked
+            else None
+        )
+        return weighted_levels(
+            csr,
+            perts,
+            seeds,
+            edge_ok=edge_ok,
+            vertex_ok=vertex_ok,
+            allowed_ok=allowed_ok,
+            raise_on_tie=raise_on_tie,
+            scheme=scheme,
+            num_vertices=num_vertices,
+            expand=expand,
+            state=state,
+            layer_width=layer_width,
+        )
+
     def shortest_paths(
         self,
         graph: Graph,
@@ -271,7 +321,7 @@ class CSREngine(PythonEngine):
         if banned_vertices and source in banned_vertices:
             raise GraphError(f"source {source} is banned")
         csr = csr_view(graph)
-        settled, hop, pert, parent, parent_eid = weighted_levels(
+        settled, hop, pert, parent, parent_eid = self._weighted_levels(
             csr,
             perts,
             [(0, 0, source, -1, -1)],
@@ -321,7 +371,7 @@ class CSREngine(PythonEngine):
         csr = csr_view(graph)
         allowed_ok = np.zeros(csr.num_vertices, dtype=bool)
         allowed_ok[_valid_ids(allowed_vertices, csr.num_vertices)] = True
-        settled, hop, pert, parent, parent_eid = weighted_levels(
+        settled, hop, pert, parent, parent_eid = self._weighted_levels(
             csr,
             perts,
             decomposed,
@@ -409,7 +459,7 @@ class CSREngine(PythonEngine):
         seed_v = np.arange(B, dtype=np.int64) * n + np.asarray(
             chunk_sources, dtype=np.int64
         )
-        settled, hop, pert, parent, parent_eid = weighted_levels(
+        settled, hop, pert, parent, parent_eid = self._weighted_levels(
             csr,
             perts,
             SeedArrays(zeros, zeros, seed_v, minus, minus),
@@ -417,7 +467,7 @@ class CSREngine(PythonEngine):
             raise_on_tie=raise_on_tie,
             scheme=weights.scheme,
             num_vertices=B * n,
-            expand=stacked_expander(csr),
+            stacked=True,
             layer_width=n,
         )
         for b, v in enumerate(chunk_sources):
@@ -525,7 +575,7 @@ class CSREngine(PythonEngine):
         sa = SeedArrays(
             **{k: np.asarray(v, dtype=np.int64) for k, v in cols.items()}
         )
-        settled, hop, pert, parent, parent_eid = weighted_levels(
+        settled, hop, pert, parent, parent_eid = self._weighted_levels(
             csr,
             perts,
             sa,
@@ -533,9 +583,8 @@ class CSREngine(PythonEngine):
             raise_on_tie=raise_on_tie,
             scheme=weights.scheme,
             num_vertices=B * n,
-            expand=stacked_expander(
-                csr, banned_eid_per_batch=banned if any_ban else None
-            ),
+            stacked=True,
+            banned_eid_per_batch=banned if any_ban else None,
             layer_width=n,
         )
         for b in range(B):
@@ -690,7 +739,7 @@ class CSREngine(PythonEngine):
         # The failed edge needs no per-layer ban: its outer endpoint is
         # outside the allowed subtree, so allowed_ok already blocks it.
         views = tuple(buf[: B * n] for buf in state[:5])
-        settled, hop, pert, parent, parent_eid = weighted_levels(
+        settled, hop, pert, parent, parent_eid = self._weighted_levels(
             csr,
             perts,
             sa,
@@ -698,8 +747,9 @@ class CSREngine(PythonEngine):
             raise_on_tie=True,
             scheme=weights.scheme,
             num_vertices=B * n,
-            expand=stacked_expander(csr),
+            stacked=True,
             state=views,
+            touched=touched,
             layer_width=n,
         )
         shift = weights.shift
@@ -707,20 +757,32 @@ class CSREngine(PythonEngine):
             off = b * n
             sub = preorder[tin_c[b] : tout_c[b]]
             idx = sub + off
-            dist: Dict[Vertex, Optional[int]] = {}
-            parent_d: Dict[Vertex, Vertex] = {}
-            parent_eid_d: Dict[Vertex, EdgeId] = {}
-            for v, reached, hh, pp, par, pe in zip(
-                sub.tolist(), settled[idx].tolist(), hop[idx].tolist(),
-                pert[idx].tolist(), parent[idx].tolist(),
-                parent_eid[idx].tolist(),
-            ):
-                if reached:
-                    dist[v] = (hh << shift) + pp
-                    parent_d[v] = par - off if par >= off else par
-                    parent_eid_d[v] = pe
-                else:
-                    dist[v] = None
+            ok = settled[idx]
+            if not ok.all():
+                idx = idx[ok]
+                sub = sub[ok]
+            sub_l = sub.tolist()
+            # The composite (hop << shift) + pert overflows int64 (shift
+            # is 63), so distances become Python ints here; everything
+            # around them is dict(zip(...)) over bulk tolist() exports.
+            dist: Dict[Vertex, Optional[int]] = dict(
+                zip(sub_l, (
+                    (hh << shift) + pp
+                    for hh, pp in zip(hop[idx].tolist(), pert[idx].tolist())
+                ))
+            )
+            par = parent[idx]
+            par = np.where(par >= off, par - off, par)
+            parent_d: Dict[Vertex, Vertex] = dict(zip(sub_l, par.tolist()))
+            parent_eid_d: Dict[Vertex, EdgeId] = dict(
+                zip(sub_l, parent_eid[idx].tolist())
+            )
+            if len(sub_l) != ok.size:
+                # Unreached subtree vertices report None, in the same
+                # preorder position the per-vertex loop put them.
+                full = dict.fromkeys(preorder[tin_c[b] : tout_c[b]].tolist())
+                full.update(dist)
+                dist = full
             yield (int(eids[b]), int(children[b]), dist, parent_d, parent_eid_d)
         # Restore the shared buffers: every write this chunk made (seeds,
         # settles, relaxation labels, the allowed mask) lives at the

@@ -3,7 +3,9 @@
 :class:`ThreadedEngine` (registry name ``csr-mt``) fans the two failure
 sweeps - ``failure_sweep`` and ``weighted_failure_sweep`` - out over a
 thread pool inside the calling process.  The numpy kernels release the
-GIL for their array passes, so shard windows genuinely overlap on
+GIL for their array passes - and the compiled ``csr-c`` base (the
+default when registered) holds it released for *whole* unweighted and
+weighted kernel calls - so shard windows genuinely overlap on
 multi-core hosts, and because every thread shares the parent's address
 space there is *nothing to transport at all*: no pickling, no
 shared-memory segments, no worker-side attach or façade build.  The

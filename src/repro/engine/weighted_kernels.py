@@ -254,24 +254,10 @@ def weighted_levels(
             buckets, raise_on_tie, scheme, layer_width,
         )
     else:
-        # Seed loop: sequential, replicating the reference's running-min
-        # and tie semantics entry by entry.
-        for h0, p0, v0, par0, pe0 in seeds:
-            if allowed_ok is not None and not (0 <= v0 < n and allowed_ok[v0]):
-                raise GraphError(f"seed vertex {v0} outside the allowed set")
-            cur_h = int(hop_t[v0])
-            if cur_h == -1 or (h0, p0) < (cur_h, int(pert_t[v0])):
-                hop_t[v0] = h0
-                pert_t[v0] = p0
-                parent[v0] = par0
-                parent_eid[v0] = pe0
-                buckets.setdefault(h0, []).append(np.asarray([v0], dtype=np.int64))
-            elif (h0, p0) == (cur_h, int(pert_t[v0])) and pe0 != parent_eid[v0]:
-                if raise_on_tie:
-                    raise TieBreakError(
-                        f"equal-weight seeds for vertex {v0} (scheme={scheme})"
-                    )
-        seed_vertices = np.asarray(sorted({s[2] for s in seeds}), dtype=np.int64)
+        seed_vertices = _intake_seed_list(
+            seeds, n, allowed_ok, hop_t, pert_t, parent, parent_eid,
+            buckets, raise_on_tie, scheme,
+        )
 
     while buckets:
         h = min(buckets)
@@ -384,6 +370,39 @@ def weighted_levels(
             buckets.setdefault(h + 1, []).append(pushed)
 
     return settled, hop_t, pert_t, parent, parent_eid
+
+
+def _intake_seed_list(
+    seeds: List[Seed],
+    n: int,
+    allowed_ok: Optional[np.ndarray],
+    hop_t: np.ndarray,
+    pert_t: np.ndarray,
+    parent: np.ndarray,
+    parent_eid: np.ndarray,
+    buckets: dict,
+    raise_on_tie: bool,
+    scheme: str,
+) -> np.ndarray:
+    """Sequential seed intake, replicating the reference's running-min
+    and tie semantics entry by entry (the list-seed counterpart of
+    :func:`_intake_seed_arrays`)."""
+    for h0, p0, v0, par0, pe0 in seeds:
+        if allowed_ok is not None and not (0 <= v0 < n and allowed_ok[v0]):
+            raise GraphError(f"seed vertex {v0} outside the allowed set")
+        cur_h = int(hop_t[v0])
+        if cur_h == -1 or (h0, p0) < (cur_h, int(pert_t[v0])):
+            hop_t[v0] = h0
+            pert_t[v0] = p0
+            parent[v0] = par0
+            parent_eid[v0] = pe0
+            buckets.setdefault(h0, []).append(np.asarray([v0], dtype=np.int64))
+        elif (h0, p0) == (cur_h, int(pert_t[v0])) and pe0 != parent_eid[v0]:
+            if raise_on_tie:
+                raise TieBreakError(
+                    f"equal-weight seeds for vertex {v0} (scheme={scheme})"
+                )
+    return np.asarray(sorted({s[2] for s in seeds}), dtype=np.int64)
 
 
 def _intake_seed_arrays(

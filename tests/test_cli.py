@@ -42,12 +42,18 @@ class TestEngines:
         assert main(["engines"]) == 0
         out = capsys.readouterr().out
         assert "python" in out and "(default)" in out
-        assert "weighted:" in out  # per-engine weighted capability line
+        assert "weighted_backend:" in out  # per-engine weighted capability line
         assert "replacement:" in out  # weighted-failure-sweep backend
         assert "detours:" in out  # batched multi-source backend
         assert "transport:" in out  # shard-input transport (shm vs pickle)
         if "csr" in available_engines():
             assert "csr" in out
+        if "csr-c" in available_engines():
+            # compiled vs inherited-numpy is resolved live, not hardcoded
+            assert (
+                "weighted_backend: compiled C levels" in out
+                or "weighted_backend: inherited numpy" in out
+            )
 
     def test_build_with_engine_flag(self, capsys):
         from repro.engine import available_engines

@@ -76,3 +76,66 @@ def test_compiled_verify_at_least_1_3x_faster_than_csr():
         f"csr-c verify speedup {speedup:.2f}x below the 1.3x acceptance floor "
         f"(csr {t_csr:.3f}s, csr-c {t_c:.3f}s)"
     )
+
+
+def test_compiled_weighted_floors():
+    """The compiled *weighted* stack's floors, tier-1-sized.
+
+    The real acceptance numbers live in ``benchmarks/bench_weighted.py``
+    on the full-size G(5000, ~50k edges) instance (>= 1.3x end-to-end
+    ``run_pcons``, >= 1.5x ``weighted_failure_sweep``, csr-c over csr).
+    This test keeps a scaled-down version in every tier-1 run: on
+    mid-size instances the pcons margin is already the full one
+    (measured ~2.4x at n=1000), while the sweep margin is structurally
+    thinner (the shared numpy seed-intake fraction grows as the
+    instance shrinks; measured ~1.4x at n=2500), so its floor here is
+    1.1x - enough to catch the compiled path silently degrading to the
+    inherited numpy kernels."""
+    from repro.engine import available_engines, cbuild, engine_context
+
+    if "csr-c" not in available_engines():
+        pytest.skip("no C compiler: csr-c engine not registered")
+    if cbuild.kernel_library() is None:
+        pytest.skip("compiler present but kernels failed to build")
+    from repro.core.pcons import run_pcons
+    from repro.engine import get_engine
+    from repro.spt import build_spt, make_weights
+
+    graph = connected_gnp_graph(1000, 12.0 / 999, seed=3)
+    timings = {}
+    results = {}
+    for name in ("csr", "csr-c"):
+        with engine_context(name):
+            run_pcons(graph, 0, weight_scheme="random", seed=1)  # warm
+            t0 = time.perf_counter()
+            results[name] = run_pcons(graph, 0, weight_scheme="random", seed=1)
+            timings[name] = time.perf_counter() - t0
+    assert results["csr"].pairs.pairs == results["csr-c"].pairs.pairs
+    pcons_speedup = timings["csr"] / timings["csr-c"]
+    assert pcons_speedup >= 1.3, (
+        f"csr-c run_pcons speedup {pcons_speedup:.2f}x below the 1.3x floor "
+        f"(csr {timings['csr']:.3f}s, csr-c {timings['csr-c']:.3f}s)"
+    )
+
+    sweep_graph = connected_gnp_graph(2500, 16.0 / 2499, seed=3)
+    weights = make_weights(sweep_graph, "random", seed=3)
+    tree = build_spt(sweep_graph, weights, 0)
+    sweeps = {}
+    for name in ("csr", "csr-c"):
+        eng = get_engine(name)
+        out = list(eng.weighted_failure_sweep(sweep_graph, weights, tree))
+        sweeps[name] = (
+            _best_of(
+                3,
+                lambda: list(
+                    eng.weighted_failure_sweep(sweep_graph, weights, tree)
+                ),
+            ),
+            out,
+        )
+    assert sweeps["csr"][1] == sweeps["csr-c"][1]
+    sweep_speedup = sweeps["csr"][0] / sweeps["csr-c"][0]
+    assert sweep_speedup >= 1.1, (
+        f"csr-c weighted sweep speedup {sweep_speedup:.2f}x below the 1.1x "
+        f"floor (csr {sweeps['csr'][0]:.3f}s, csr-c {sweeps['csr-c'][0]:.3f}s)"
+    )

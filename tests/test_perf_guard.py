@@ -1,0 +1,112 @@
+"""Tests for ``tools/perf_guard.py`` (the bench-floor regression guard).
+
+The guard lives outside the package (a CI tool, stdlib only), so it is
+loaded straight from its file.  The synthetic-artifact tests pin the
+contract the benchmarks stamp - ``params["floors"]`` vs
+``derived["speedups"]`` - and the committed-artifacts test keeps the
+repo's own ``bench_artifacts/`` permanently guard-clean.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[1] / "tools" / "perf_guard.py"
+
+
+@pytest.fixture(scope="module")
+def guard():
+    spec = importlib.util.spec_from_file_location("perf_guard", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(directory: Path, eid: str, *, quick=False, floors=None,
+           speedups=None):
+    record = {
+        "experiment_id": eid,
+        "title": eid,
+        "params": {"quick": quick},
+        "columns": [],
+        "rows": [],
+        "notes": [],
+        "derived": {},
+    }
+    if floors is not None:
+        record["params"]["floors"] = floors
+    if speedups is not None:
+        record["derived"]["speedups"] = speedups
+    (directory / f"{eid}.json").write_text(json.dumps(record))
+
+
+class TestSyntheticArtifacts:
+    def test_passing_floors(self, guard, tmp_path):
+        _write(tmp_path, "BENCH_x", floors={"a_vs_b": 1.5},
+               speedups={"a_vs_b": 1.8})
+        lines, failures = guard.check_dir(tmp_path)
+        assert not failures
+        assert any("1.80x >= 1.5x ok" in line for line in lines)
+
+    def test_regression_fails(self, guard, tmp_path):
+        _write(tmp_path, "BENCH_x", floors={"a_vs_b": 1.5},
+               speedups={"a_vs_b": 1.1})
+        _, failures = guard.check_dir(tmp_path)
+        assert len(failures) == 1 and "FAIL" in failures[0]
+        assert guard.main([str(tmp_path)]) == 1
+
+    def test_unstamped_artifact_is_skipped_not_failed(self, guard, tmp_path):
+        _write(tmp_path, "BENCH_old")
+        lines, failures = guard.check_dir(tmp_path)
+        assert not failures
+        assert any("skipped" in line for line in lines)
+        assert guard.main([str(tmp_path)]) == 0
+
+    def test_unmeasured_ratio_is_skipped(self, guard, tmp_path):
+        # e.g. no C compiler: the floor is stamped, the ratio is not.
+        _write(tmp_path, "BENCH_x",
+               floors={"a_vs_b": 1.5, "c_vs_d": 1.3},
+               speedups={"a_vs_b": 2.0})
+        lines, failures = guard.check_dir(tmp_path)
+        assert not failures
+        assert any("c_vs_d: not measured" in line for line in lines)
+
+    def test_baseline_floors_backstop_full_runs(self, guard, tmp_path):
+        fresh, committed = tmp_path / "fresh", tmp_path / "committed"
+        fresh.mkdir(), committed.mkdir()
+        # The fresh full-size record "lost" its floor stamp; the
+        # committed one still guards the measured ratio.
+        _write(fresh, "BENCH_x", speedups={"a_vs_b": 1.1})
+        _write(committed, "BENCH_x", floors={"a_vs_b": 1.5},
+               speedups={"a_vs_b": 1.8})
+        _, failures = guard.check_dir(fresh, committed)
+        assert len(failures) == 1
+
+    def test_quick_runs_ignore_baseline_full_floors(self, guard, tmp_path):
+        fresh, committed = tmp_path / "fresh", tmp_path / "committed"
+        fresh.mkdir(), committed.mkdir()
+        _write(fresh, "BENCH_x", quick=True, floors={"a_vs_b": 0.7},
+               speedups={"a_vs_b": 1.1})
+        _write(committed, "BENCH_x", floors={"a_vs_b": 1.5},
+               speedups={"a_vs_b": 1.8})
+        _, failures = guard.check_dir(fresh, committed)
+        assert not failures
+
+    def test_empty_directory_reports_and_passes(self, guard, tmp_path):
+        lines, failures = guard.check_dir(tmp_path)
+        assert not failures
+        assert "no BENCH_" in lines[0]
+
+    def test_missing_directory_exits_2(self, guard, tmp_path):
+        assert guard.main([str(tmp_path / "nope")]) == 2
+
+
+class TestCommittedArtifacts:
+    def test_committed_bench_artifacts_hold_their_floors(self, guard):
+        committed = _TOOL.parents[1] / "bench_artifacts"
+        if not committed.is_dir():
+            pytest.skip("no committed bench_artifacts in this checkout")
+        lines, failures = guard.check_dir(committed)
+        assert not failures, "\n".join(failures)

@@ -13,8 +13,15 @@ stacked ``weighted_failure_sweep`` / ``batched_shortest_paths`` /
 ``batched_seeded_shortest_paths`` paths must be bit-identical to the
 per-call loops they amortize, across engines, both weight schemes,
 disconnected subtrees included.
+
+The fast engine under test follows ``REPRO_ENGINE``: the weighted CI
+matrix reruns this module under ``csr``, ``csr-mt``, and ``csr-c``, so
+the compiled weighted kernels face the same tie-replay and chunking
+cases as the numpy path.  The reference row stays the python engine
+(an ambient ``python``/``sharded`` selection degenerates to ``csr``).
 """
 
+import os
 import random
 
 import pytest
@@ -24,7 +31,12 @@ from hypothesis import strategies as st
 pytest.importorskip("numpy")
 
 from repro.core.pcons import run_pcons
-from repro.engine import engine_context, get_engine, replacement_failure
+from repro.engine import (
+    available_engines,
+    engine_context,
+    get_engine,
+    replacement_failure,
+)
 from repro.errors import GraphError, TieBreakError
 from repro.graphs import Graph, cycle_graph, gnp_random_graph
 from repro.spt.spt_tree import build_spt
@@ -34,8 +46,12 @@ from tests.conftest import graph_with_source
 
 COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
+FAST_NAME = os.environ.get("REPRO_ENGINE") or "csr"
+if FAST_NAME not in available_engines() or FAST_NAME in ("python", "sharded"):
+    FAST_NAME = "csr"
+
 PY = get_engine("python")
-CSR = get_engine("csr")
+CSR = get_engine(FAST_NAME)
 
 
 def assert_same_result(a, b):
@@ -59,7 +75,9 @@ def run_both(method, *args, **kwargs):
         except GraphError:
             results.append(("graph-error", None))
     (kind_a, a), (kind_b, b) = results
-    assert kind_a == kind_b, f"engines disagree: python={kind_a} csr={kind_b}"
+    assert kind_a == kind_b, (
+        f"engines disagree: python={kind_a} {FAST_NAME}={kind_b}"
+    )
     if kind_a == "ok":
         assert_same_result(a, b)
     return kind_a, a
@@ -249,6 +267,34 @@ def test_degenerate_weights_tie_parity(pair, salt):
     run_both("shortest_paths", g, w, source, raise_on_tie=False)
 
 
+@pytest.mark.skipif(
+    "csr-c" not in available_engines(),
+    reason="no C compiler: csr-c engine not registered",
+)
+@settings(max_examples=25, **COMMON)
+@given(graph_with_source(max_vertices=14, connected=False), st.integers(0, 2**10))
+def test_degenerate_weights_compiled_tie_set_identical(pair, salt):
+    """The C kernel's exact running-min tie detection must reproduce the
+    numpy path's tie *set*: for every degenerate instance, raise vs
+    no-raise, the exception message, and the raise_on_tie=False result
+    all agree between csr and csr-c - the compiled bail-and-rerun may
+    never tie where numpy does not, nor miss a tie numpy reports."""
+    g, source = pair
+    rng = random.Random(salt)
+    big = 1 << 16
+    weights = [big + rng.randrange(1, 4) for _ in range(g.num_edges)]
+    w = WeightAssignment(weights=weights, shift=16, scheme=RANDOM, seed=0)
+    for kwargs in ({}, {"raise_on_tie": False}):
+        outcomes = []
+        for engine in (get_engine("csr"), get_engine("csr-c")):
+            try:
+                r = engine.shortest_paths(g, w, source, **kwargs)
+                outcomes.append(("ok", r.dist, r.parent, r.parent_eid))
+            except TieBreakError as exc:
+                outcomes.append(("tie", str(exc)))
+        assert outcomes[0] == outcomes[1]
+
+
 # ----------------------------------------------------------------------
 # the batched replacement subsystem: sweep-vs-lazy and batch-vs-per-call
 # ----------------------------------------------------------------------
@@ -263,7 +309,9 @@ def run_both_batched(method, *args, **kwargs):
         except GraphError:
             results.append(("graph-error", None))
     (kind_a, a), (kind_b, b) = results
-    assert kind_a == kind_b, f"engines disagree: python={kind_a} csr={kind_b}"
+    assert kind_a == kind_b, (
+        f"engines disagree: python={kind_a} {FAST_NAME}={kind_b}"
+    )
     return kind_a, a, b
 
 
@@ -443,10 +491,10 @@ def test_sweep_chunking_boundaries_are_invisible():
 def test_run_pcons_random_scheme_engine_parity(seed):
     g = gnp_random_graph(60, 0.1, seed=seed)
     results = {}
-    for name in ("python", "csr"):
+    for name in ("python", FAST_NAME):
         with engine_context(name):
             results[name] = run_pcons(g, 0, weight_scheme="random", seed=seed)
-    ref, fast = results["python"], results["csr"]
+    ref, fast = results["python"], results[FAST_NAME]
     assert ref.tree.dist == fast.tree.dist
     assert ref.tree.parent == fast.tree.parent
     assert ref.tree.parent_eid == fast.tree.parent_eid
@@ -464,10 +512,10 @@ def test_run_pcons_reseeds_identically_on_tie():
     g = cycle_graph(8)
     tying = uniform_assignment(8, shift=40, pert=7)
     results = {}
-    for name in ("python", "csr"):
+    for name in ("python", FAST_NAME):
         with engine_context(name):
             results[name] = run_pcons(g, 0, weights=tying)
-    ref, fast = results["python"], results["csr"]
+    ref, fast = results["python"], results[FAST_NAME]
     assert ref.weights.seed == fast.weights.seed
     assert ref.weights.seed != tying.seed or list(ref.weights.weights) != list(
         tying.weights
