@@ -13,7 +13,18 @@ Subcommands
     so an interrupted run resumes from its cache (``--fresh`` discards
     cached points first).
 ``build``
-    Build a structure for a named workload and report its sizes.
+    Build a structure for a named workload and report its sizes.  With
+    ``--save PATH`` it instead builds the single-failure query
+    structure (SPT + full replacement sweep) and writes an oracle
+    snapshot (see :mod:`repro.oracle`).
+``query SNAPSHOT``
+    Answer failure-distance queries from a saved snapshot; ``--check``
+    recomputes every answer with a fresh engine traversal and exits
+    nonzero on any mismatch (the CI smoke gate).
+``serve SNAPSHOT``
+    Long-lived serving loop: JSONL requests on stdin, JSONL responses
+    on stdout; ``--workers N`` fans queries out to zero-copy readers
+    attached over shared memory.
 ``quickstart``
     A tiny end-to-end demo.
 ``engines``
@@ -21,11 +32,11 @@ Subcommands
     including each engine's thread budget and which shared-memory plane
     segments its transport publishes.
 
-``run``, ``build`` and ``quickstart`` accept ``--engine {python,csr}``
-to pin the traversal engine for the whole invocation; otherwise the
-``REPRO_ENGINE`` environment variable / registry default applies.  The
-full environment-variable surface is listed in ``repro --help`` (the
-epilog below mirrors the README table).
+``run``, ``build``, ``query``, ``serve`` and ``quickstart`` accept
+``--engine {python,csr}`` to pin the traversal engine for the whole
+invocation; otherwise the ``REPRO_ENGINE`` environment variable /
+registry default applies.  The full environment-variable surface is
+listed in ``repro --help`` (the epilog below mirrors the README table).
 """
 
 from __future__ import annotations
@@ -63,7 +74,9 @@ _ENV_VAR_HELP = """\
 environment variables:
   REPRO_ENGINE           default traversal engine (same values as --engine)
   REPRO_SHM              0 disables the shared-memory shard transport
-                         (sharded sweeps fall back to pickled payloads)
+                         (sharded sweeps fall back to pickled payloads;
+                         repro serve answers inline instead of fanning
+                         out to workers)
   REPRO_SHARD_THRESHOLD  edge count above which verification auto-upgrades
                          to a parallel engine (default 100000 when shared
                          memory or csr-mt is available, else 200000)
@@ -132,7 +145,73 @@ def build_parser() -> argparse.ArgumentParser:
     build_p.add_argument("--epsilon", type=float, default=0.3)
     build_p.add_argument("--seed", type=int, default=0)
     build_p.add_argument("--no-verify", action="store_true")
+    build_p.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a query-oracle snapshot of the workload's SPT + "
+            "replacement sweep instead of building the epsilon-FTBFS "
+            "(uses the random weight scheme; retries seeds on ties)"
+        ),
+    )
     add_engine_flag(build_p)
+
+    query_p = sub.add_parser(
+        "query", help="answer failure queries from a saved snapshot"
+    )
+    query_p.add_argument("snapshot", help="snapshot file from 'build --save'")
+    query_p.add_argument(
+        "--target",
+        type=int,
+        action="append",
+        help="target vertex (repeatable; default: a deterministic sample)",
+    )
+    query_p.add_argument(
+        "--failed",
+        default="",
+        help="comma-separated failed edge ids (default: none)",
+    )
+    query_p.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="query K sampled vertices instead of --target",
+    )
+    query_p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    query_p.add_argument(
+        "--path",
+        action="store_true",
+        dest="show_path",
+        help="print each surviving shortest path",
+    )
+    query_p.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "recompute every answer (dist + parent chain) with a fresh "
+            "engine traversal; exit 1 on any mismatch"
+        ),
+    )
+    add_engine_flag(query_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="serve snapshot queries over stdin/stdout JSONL"
+    )
+    serve_p.add_argument("snapshot", help="snapshot file from 'build --save'")
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="zero-copy reader workers (0 = answer inline in this process)",
+    )
+    serve_p.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for the worker pool",
+    )
+    add_engine_flag(serve_p)
 
     quickstart_p = sub.add_parser("quickstart", help="tiny end-to-end demo")
     add_engine_flag(quickstart_p)
@@ -206,6 +285,146 @@ def _cmd_run(
     return status
 
 
+def _build_query_tree(graph, source: int, seed: int):
+    """SPT under the random scheme, reseeding past tie-break failures.
+
+    Snapshots need int64-representable weights, so the exact scheme is
+    not an option here; the random scheme's ties are loud and rare, and
+    a handful of reseeds always clears them.
+    """
+    from repro.errors import TieBreakError
+    from repro.spt.spt_tree import build_spt
+    from repro.spt.weights import make_weights
+
+    last: Optional[TieBreakError] = None
+    for attempt in range(8):
+        try:
+            weights = make_weights(graph, "random", seed=seed + attempt)
+            return build_spt(graph, weights, source)
+        except TieBreakError as exc:
+            last = exc
+    raise last  # pragma: no cover - 8 consecutive ties never happens
+
+
+def _parse_eids(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_build_save(
+    name: str, n: int, seed: int, save: str
+) -> int:
+    import os
+
+    from repro.oracle import save_structure
+
+    graph, source = workload(name, n=n, seed=seed)
+    tree = _build_query_tree(graph, source, seed)
+    path = save_structure(save, tree)
+    size = os.path.getsize(path)
+    rows = tree.num_reachable - 1
+    print(f"graph: {graph}")
+    print(
+        f"snapshot -> {path} ({size} bytes, source={source}, "
+        f"{rows} replacement rows)"
+    )
+    return 0
+
+
+def _cmd_query(
+    snapshot: str,
+    targets: Optional[List[int]],
+    failed: str,
+    sample: int,
+    seed: int,
+    show_path: bool,
+    check: bool,
+    engine: Optional[str],
+) -> int:
+    import random
+
+    from repro.errors import ReproError
+    from repro.oracle import QueryOracle
+
+    try:
+        oracle = QueryOracle.load(snapshot, engine=engine)
+        failed_eids = _parse_eids(failed)
+        structure = oracle.structure
+        n = structure.num_vertices
+        print(
+            f"snapshot: {snapshot} (n={n}, m={structure.num_edges}, "
+            f"source={structure.source}, "
+            f"rows={structure.num_replacement_rows})"
+        )
+        if targets:
+            chosen = list(targets)
+        else:
+            count = sample if sample > 0 else min(10, n)
+            chosen = sorted(random.Random(seed).sample(range(n), min(count, n)))
+        shift = structure.shift
+        dists = oracle.dist_many(chosen, failed_eids)
+        for v, d in zip(chosen, dists):
+            hops = "unreachable" if d is None else d >> shift
+            print(f"  v={v} hops={hops}")
+            if show_path and d is not None:
+                route = oracle.path(v, failed_eids)
+                print("    path: " + " -> ".join(str(x) for x in route))
+        if check:
+            sp = get_engine(engine).shortest_paths(
+                structure.graph,
+                structure.weights,
+                structure.source,
+                banned_edges=set(failed_eids),
+            )
+            bad = [v for v, d in zip(chosen, dists) if d != sp.dist[v]]
+            for v, d in zip(chosen, dists):
+                if d is not None and v != structure.source and v not in bad:
+                    if oracle.parent_of(v, failed_eids) != (
+                        sp.parent[v], sp.parent_eid[v],
+                    ):
+                        bad.append(v)
+            if bad:
+                print(f"check: MISMATCH at vertices {sorted(bad)}")
+                return 1
+            print(f"check: ok ({len(chosen)} answers match a fresh traversal)")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_serve(
+    snapshot: str,
+    workers: int,
+    start_method: Optional[str],
+    engine: Optional[str],
+) -> int:
+    from repro.errors import ReproError
+    from repro.oracle import load_structure, serve_structure
+
+    try:
+        structure = load_structure(snapshot)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        summary = serve_structure(
+            structure,
+            sys.stdin,
+            sys.stdout,
+            workers=workers,
+            engine=engine,
+            start_method=start_method,
+        )
+    finally:
+        structure.close()
+    print(
+        f"served {summary['requests']} requests "
+        f"({summary['errors']} errors, {summary['workers']} workers)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_build(name: str, n: int, epsilon: float, seed: int, no_verify: bool) -> int:
     graph, source = workload(name, n=n, seed=seed)
     structure = build_epsilon_ftbfs(graph, source, epsilon)
@@ -247,8 +466,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.jobs, args.fresh, args.engine,
             )
         if args.command == "build":
+            if args.save:
+                return _cmd_build_save(args.workload, args.n, args.seed, args.save)
             return _cmd_build(
                 args.workload, args.n, args.epsilon, args.seed, args.no_verify
+            )
+        if args.command == "query":
+            return _cmd_query(
+                args.snapshot, args.target, args.failed, args.sample,
+                args.seed, args.show_path, args.check, args.engine,
+            )
+        if args.command == "serve":
+            return _cmd_serve(
+                args.snapshot, args.workers, args.start_method, args.engine
             )
         if args.command == "quickstart":
             return _cmd_quickstart()

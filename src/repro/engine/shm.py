@@ -29,6 +29,15 @@ Three kinds of segment exist, with different lifetimes:
     handle, lo, hi)`` - O(1) in graph size.  The sharded engine unlinks
     the request when the sweep generator completes or is abandoned.
 
+``aux`` (:class:`AuxSegment`)
+    A generic named-array segment with no façade semantics: the oracle
+    server (:mod:`repro.oracle.serve`) republishes a snapshot's
+    replacement planes through one so query workers attach them
+    zero-copy next to the tree plane.  Published from *already mapped*
+    buffers via :func:`publish_aux_arrays` (the plane-from-mapped-buffer
+    path: a loaded snapshot's arrays go straight back out without a
+    parse step); the owner unlinks it explicitly, like a request.
+
 ``base`` (:class:`SweepBaseState`)
     The per-*sweep* base-state segment (unweighted sweeps): the parent's
     precomputed base traversal - distances, parents, parent edge ids,
@@ -88,18 +97,26 @@ __all__ = [
     "RequestHandle",
     "RequestView",
     "BaseStateHandle",
+    "AuxHandle",
     "SharedGraphPlane",
     "SweepRequest",
     "SweepBaseState",
+    "AuxSegment",
     "SharedGraph",
     "publish_graph",
     "publish_tree",
+    "publish_plane_arrays",
+    "publish_aux_arrays",
     "graph_plane",
     "tree_plane",
     "publish_request",
     "publish_base_state",
     "attach_plane",
+    "attach_plane_arrays",
     "attach_request",
+    "attach_aux_arrays",
+    "weights_facade",
+    "tree_facade",
     "active_segment_names",
     "release_segments",
 ]
@@ -264,6 +281,14 @@ class BaseStateHandle:
     fields: Tuple[Tuple[str, int, int], ...]
 
 
+@dataclass(frozen=True)
+class AuxHandle:
+    """Picklable description of a generic named-array (aux) segment."""
+
+    name: str
+    fields: Tuple[Tuple[str, int, int], ...]
+
+
 class SharedGraphPlane:
     """A published plane segment; the parent-side owner object."""
 
@@ -298,6 +323,21 @@ class SweepBaseState:
     """A published per-sweep base-state segment (the parent's base sweep)."""
 
     def __init__(self, seg, handle: BaseStateHandle) -> None:
+        self._seg = seg
+        self.handle = handle
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    def unlink(self) -> None:
+        _unlink_segment(self.handle.name)
+
+
+class AuxSegment:
+    """A published generic named-array segment (owner side)."""
+
+    def __init__(self, seg, handle: AuxHandle) -> None:
         self._seg = seg
         self.handle = handle
 
@@ -361,36 +401,83 @@ def publish_tree(graph: Graph, weights, tree) -> Optional[SharedGraphPlane]:
     pert0 = tree.dist_perturbations(weights)
     try:
         csr = csr_view(graph)
-        seg, fields = _publish_arrays(
-            [
-                ("indptr", csr.indptr),
-                ("indices", csr.indices),
-                ("edge_ids", csr.edge_ids),
-                ("edge_u", csr.edge_u),
-                ("edge_v", csr.edge_v),
-                ("pert", perts),
-                ("tree_hop", tree.depth),
-                ("tree_pert", pert0),
-                ("tree_parent", tree.parent),
-                ("tree_parent_eid", tree.parent_eid),
-                ("tree_tin", tree.tin),
-                ("tree_tout", tree.tout),
-                ("tree_preorder", tree.preorder),
-            ],
-            "plane",
-        )
     except _PUBLISH_ERRORS:
         return None
-    handle = PlaneHandle(
-        name=seg.name,
+    return publish_plane_arrays(
+        [
+            ("indptr", csr.indptr),
+            ("indices", csr.indices),
+            ("edge_ids", csr.edge_ids),
+            ("edge_u", csr.edge_u),
+            ("edge_v", csr.edge_v),
+            ("pert", perts),
+            ("tree_hop", tree.depth),
+            ("tree_pert", pert0),
+            ("tree_parent", tree.parent),
+            ("tree_parent_eid", tree.parent_eid),
+            ("tree_tin", tree.tin),
+            ("tree_tout", tree.tout),
+            ("tree_preorder", tree.preorder),
+        ],
         num_vertices=csr.num_vertices,
         num_edges=csr.num_edges,
-        fields=fields,
         graph_name=graph.name,
         weights_meta=(weights.shift, weights.scheme, weights.seed, int(max_pert)),
         tree_source=tree.source,
     )
+
+
+def publish_plane_arrays(
+    items,
+    *,
+    num_vertices: int,
+    num_edges: int,
+    graph_name: str = "",
+    weights_meta: Optional[Tuple[int, str, int, int]] = None,
+    tree_source: Optional[int] = None,
+) -> Optional[SharedGraphPlane]:
+    """Publish a plane directly from ``(key, array)`` pairs.
+
+    The plane-from-mapped-buffer path: callers holding already-mapped
+    arrays (a loaded oracle snapshot, another plane) republish them
+    without rebuilding the live objects a :func:`publish_tree` needs.
+    The keys must follow the plane field conventions (``indptr`` ...
+    ``tree_preorder``) for :func:`attach_plane` to build façades.  None
+    when the transport is unavailable or the publish fails, like every
+    other publisher.
+    """
+    if not transport_enabled():
+        return None
+    try:
+        seg, fields = _publish_arrays(list(items), "plane")
+    except _PUBLISH_ERRORS:
+        return None
+    handle = PlaneHandle(
+        name=seg.name,
+        num_vertices=int(num_vertices),
+        num_edges=int(num_edges),
+        fields=fields,
+        graph_name=graph_name,
+        weights_meta=weights_meta,
+        tree_source=None if tree_source is None else int(tree_source),
+    )
     return SharedGraphPlane(seg, handle)
+
+
+def publish_aux_arrays(items) -> Optional[AuxSegment]:
+    """Publish a generic named-array segment (kind ``aux``).
+
+    ``items`` is a sequence of ``(key, array)`` pairs; the attach side
+    gets the same keys back from :func:`attach_aux_arrays`.  The caller
+    owns the lifetime (unlink explicitly, like a request segment).
+    """
+    if not transport_enabled():
+        return None
+    try:
+        seg, fields = _publish_arrays(list(items), "aux")
+    except _PUBLISH_ERRORS:
+        return None
+    return AuxSegment(seg, AuxHandle(name=seg.name, fields=fields))
 
 
 def publish_request(
@@ -582,6 +669,12 @@ class SharedGraph(Graph):
         return super().__getstate__()
 
 
+def _plain(arr) -> List[int]:
+    """A sequence as a plain Python int list (numpy view or list alike)."""
+    tolist = getattr(arr, "tolist", None)
+    return tolist() if tolist is not None else list(arr)
+
+
 class _SharedWeights:
     """Lazy big-int weight sequence over a mapped perturbation array.
 
@@ -589,7 +682,8 @@ class _SharedWeights:
     exactly for any exportable scheme; the full list materializes once,
     on the first reference-engine access.  ``owner`` pins the backing
     segment: numpy views do not keep a ``SharedMemory`` alive on their
-    own (its ``__del__`` unmaps under surviving views).
+    own (its ``__del__`` unmaps under surviving views).  ``pert`` may
+    also be a plain list (the snapshot loader's no-numpy fallback).
     """
 
     __slots__ = ("_pert", "_big", "_list", "_owner")
@@ -603,14 +697,14 @@ class _SharedWeights:
     def _materialize(self) -> List[int]:
         if self._list is None:
             big = self._big
-            self._list = [big + p for p in self._pert.tolist()]
+            self._list = [big + p for p in _plain(self._pert)]
         return self._list
 
     def __getitem__(self, index):
         return self._materialize()[index]
 
     def __len__(self) -> int:
-        return int(self._pert.size)
+        return len(self._pert)
 
     def __iter__(self):
         return iter(self._materialize())
@@ -619,41 +713,63 @@ class _SharedWeights:
         return (list, (self._materialize(),))
 
 
-def _build_weights(handle: PlaneHandle, arrays, owner):
+def weights_facade(pert, shift: int, scheme: str, seed: int, max_pert: int,
+                   owner: object = None):
+    """A :class:`~repro.spt.weights.WeightAssignment` over a mapped
+    (or listed) perturbation plane, big-int weights rebuilt lazily.
+
+    The memoized ``pert_array`` export is pre-seeded with the mapped
+    view when it is one, so array kernels run zero-copy and never see
+    the lazy sequence; list-backed planes (no numpy) leave the memo to
+    the normal export path.
+    """
     from repro.spt.weights import WeightAssignment
 
-    shift, scheme, seed, max_pert = handle.weights_meta
     weights = WeightAssignment(
-        weights=_SharedWeights(arrays["pert"], 1 << shift, owner),
+        weights=_SharedWeights(pert, 1 << shift, owner),
         shift=shift,
         scheme=scheme,
         seed=seed,
     )
-    # Pre-seed the memoized export with the attached view, so the array
-    # kernels never re-export (and never see the lazy sequence).
-    object.__setattr__(weights, "_pert_cache", (arrays["pert"], max_pert))
+    # setflags only exists on ndarrays - array('q') planes (the no-numpy
+    # loader) must NOT seed the memo, or array kernels would fancy-index
+    # a plain sequence.
+    if hasattr(pert, "setflags"):
+        object.__setattr__(weights, "_pert_cache", (pert, max_pert))
     return weights
 
 
-def _build_tree(handle: PlaneHandle, graph: Graph, weights, arrays):
+def _build_weights(handle: PlaneHandle, arrays, owner):
+    shift, scheme, seed, max_pert = handle.weights_meta
+    return weights_facade(arrays["pert"], shift, scheme, seed, max_pert, owner)
+
+
+def tree_facade(graph: Graph, weights, source: int, arrays):
+    """A :class:`~repro.spt.spt_tree.ShortestPathTree` façade over
+    mapped (or listed) ``tree_*`` planes.
+
+    Carries exactly the fields the failure sweeps and the query oracle
+    consume; shared by the worker-side plane attach and the snapshot
+    loader so the array decomposition never diverges.
+    """
     from repro.spt.spt_tree import ShortestPathTree
 
     tree = ShortestPathTree.__new__(ShortestPathTree)
     tree.graph = graph
     tree.weights = weights
-    tree.source = handle.tree_source
-    hop = arrays["tree_hop"].tolist()
-    pert = arrays["tree_pert"].tolist()
+    tree.source = source
+    hop = _plain(arrays["tree_hop"])
+    pert = _plain(arrays["tree_pert"])
     shift = weights.shift
     tree.dist = [
         None if h < 0 else (h << shift) + p for h, p in zip(hop, pert)
     ]
     tree.depth = hop
-    tree.parent = arrays["tree_parent"].tolist()
-    tree.parent_eid = arrays["tree_parent_eid"].tolist()
-    tree.tin = arrays["tree_tin"].tolist()
-    tree.tout = arrays["tree_tout"].tolist()
-    tree.preorder = arrays["tree_preorder"].tolist()
+    tree.parent = _plain(arrays["tree_parent"])
+    tree.parent_eid = _plain(arrays["tree_parent_eid"])
+    tree.tin = _plain(arrays["tree_tin"])
+    tree.tout = _plain(arrays["tree_tout"])
+    tree.preorder = _plain(arrays["tree_preorder"])
     # children / binary-lifting tables are deliberately not rebuilt: no
     # failure-sweep path touches them (lca() would need a full rebuild).
     # The mapped int64 decomposition, for engines that can consume it
@@ -669,6 +785,10 @@ def _build_tree(handle: PlaneHandle, graph: Graph, weights, arrays):
         "preorder": arrays["tree_preorder"],
     }
     return tree
+
+
+def _build_tree(handle: PlaneHandle, graph: Graph, weights, arrays):
+    return tree_facade(graph, weights, handle.tree_source, arrays)
 
 
 # ----------------------------------------------------------------------
@@ -723,6 +843,18 @@ def attach_plane(handle: PlaneHandle):
     ``weights``/``tree`` are None for graph-only planes.  Cached per
     segment name, so repeated shards of one sweep attach exactly once.
     """
+    return attach_plane_arrays(handle)[:3]
+
+
+def attach_plane_arrays(handle: PlaneHandle):
+    """Attach a plane, returning ``(graph, weights, tree, arrays)``.
+
+    Like :func:`attach_plane` plus the raw mapped field dict - consumers
+    that index the planes directly (the query oracle's O(path) lookups)
+    get them without a second attach.  The façades pin the segment; a
+    caller holding only ``arrays`` must keep one of them (or the dict's
+    graph) alive.
+    """
     cached = _recall(_ATTACHED, handle.name)
     if cached is None:
         from repro.engine.csr import CSRAdjacency
@@ -737,7 +869,22 @@ def attach_plane(handle: PlaneHandle):
             weights = _build_weights(handle, arrays, seg)
         if handle.tree_source is not None:
             tree = _build_tree(handle, graph, weights, arrays)
-        cached = (seg, (graph, weights, tree))
+        cached = (seg, (graph, weights, tree, arrays))
+        _remember(_ATTACHED, _ATTACH_CAP, handle.name, cached)
+    return cached[1]
+
+
+def attach_aux_arrays(handle: AuxHandle):
+    """Attach an aux segment, returning its named-array dict (cached).
+
+    The dict's ``"owner"`` entry pins the mapping (see the ``_ATTACHED``
+    eviction note): hold the dict, not just an array pulled out of it.
+    """
+    cached = _recall(_ATTACHED, handle.name)
+    if cached is None:
+        seg, arrays = _attach_arrays(handle.name, handle.fields)
+        arrays["owner"] = seg
+        cached = (seg, arrays)
         _remember(_ATTACHED, _ATTACH_CAP, handle.name, cached)
     return cached[1]
 

@@ -17,6 +17,7 @@ __all__ = [
     "VerificationError",
     "ExperimentError",
     "EngineError",
+    "SnapshotError",
 ]
 
 
@@ -54,3 +55,12 @@ class ExperimentError(ReproError):
 
 class EngineError(ReproError):
     """A traversal-engine failure (unknown engine name, unavailable backend)."""
+
+
+class SnapshotError(ReproError):
+    """A structure snapshot cannot be written or read.
+
+    Raised by :mod:`repro.oracle.snapshot` on format violations (bad
+    magic, unsupported version, endianness mismatch, truncated planes)
+    and on save attempts whose weights have no fixed-width int64
+    representation (the exact scheme past 62 edges)."""

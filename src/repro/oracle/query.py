@@ -1,0 +1,388 @@
+"""O(path) failure-distance queries over a built FT-BFS structure.
+
+:class:`QueryOracle` answers ``dist(s, v | failed_edges)`` and
+``path(...)`` from the precomputed planes of an
+:class:`~repro.oracle.snapshot.OracleStructure` - live, snapshot-mapped,
+or attached over shared memory, the oracle never cares which.  The
+classification is pure array arithmetic:
+
+* no failed edge lies on the base tree -> the base answer stands
+  unchanged.  Composite weights make shortest paths unique in *every*
+  subgraph, so removing non-tree edges perturbs neither distances nor
+  parent chains (the unique shortest path never used them).
+* exactly one edge failed and it is a tree edge with a cached
+  replacement row -> the Euler-keyed row answers.  Vertices outside the
+  failed subtree keep their base values (their unique shortest path
+  avoids the subtree); vertices inside read the row at position
+  ``tin[v] - tin[child]``, which the sweep proved bit-identical to a
+  fresh banned-edge traversal.
+* anything else (multiple failures including a tree edge) falls back to
+  one engine traversal with the full banned set, memoized in a small
+  LRU keyed by the frozen failure set.
+
+Every answer is therefore bit-identical to recomputing from scratch
+under the same failure set - the parity tests pin this per engine.
+``mark_down``/``mark_up`` maintain an incremental failure state merged
+into every query's failed set, so a serving process can model a slowly
+changing fault pattern without per-query plumbing.
+
+All query kernels are O(path-length) array lookups plus an O(|failed|)
+classification; no per-query allocation beyond the returned values.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro._types import EdgeId, Vertex
+from repro.errors import GraphError
+from repro.oracle.snapshot import OracleStructure
+from repro.spt.replacement import ReplacementEngine
+from repro.spt.spt_tree import ShortestPathTree
+
+__all__ = ["OracleStats", "QueryOracle"]
+
+#: Engine-traversal results memoized for uncached multi-failure sets.
+_FALLBACK_CACHE_SIZE = 16
+
+
+class OracleStats:
+    """Where the oracle's answers came from, counted per query by its
+    classification (a "row" query still reads base planes for vertices
+    outside the failed subtree; it counts as a row answer once)."""
+
+    __slots__ = (
+        "queries",
+        "base_answers",
+        "row_answers",
+        "fallback_traversals",
+        "fallback_hits",
+    )
+
+    def __init__(
+        self,
+        queries: int = 0,
+        base_answers: int = 0,
+        row_answers: int = 0,
+        fallback_traversals: int = 0,
+        fallback_hits: int = 0,
+    ) -> None:
+        self.queries = queries
+        self.base_answers = base_answers
+        self.row_answers = row_answers
+        self.fallback_traversals = fallback_traversals
+        self.fallback_hits = fallback_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"OracleStats({inner})"
+
+
+class QueryOracle:
+    """Answer failure-distance queries in O(path) from precomputed planes.
+
+    Construct over an :class:`~repro.oracle.snapshot.OracleStructure`
+    (``QueryOracle(structure)``), from live objects
+    (:meth:`from_tree`), or straight from a snapshot file
+    (:meth:`load`).  ``engine`` names the traversal engine used for
+    uncached multi-failure fallbacks; it follows the standard selection
+    chain when omitted.
+    """
+
+    def __init__(
+        self,
+        structure: OracleStructure,
+        *,
+        engine: Optional[str] = None,
+        fallback_cache: int = _FALLBACK_CACHE_SIZE,
+    ) -> None:
+        self.structure = structure
+        self._engine_name = engine
+        arrays = structure.arrays
+        self._hop = arrays["tree_hop"]
+        self._pert = arrays["tree_pert"]
+        self._parent = arrays["tree_parent"]
+        self._parent_eid = arrays["tree_parent_eid"]
+        self._tin = arrays["tree_tin"]
+        self._tout = arrays["tree_tout"]
+        self._repl_child = arrays["repl_child"]
+        self._repl_offsets = arrays["repl_offsets"]
+        self._repl_hop = arrays["repl_hop"]
+        self._repl_pert = arrays["repl_pert"]
+        self._repl_parent = arrays["repl_parent"]
+        self._repl_parent_eid = arrays["repl_parent_eid"]
+        self._shift = structure.shift
+        self._source = structure.source
+        self._n = structure.num_vertices
+        self._m = structure.num_edges
+        # Tree edges are exactly the parent edges of reachable non-root
+        # vertices; O(n) to collect, no adjacency walk needed.
+        self._tree_eids: FrozenSet[EdgeId] = frozenset(
+            int(pe) for pe in self._parent_eid if pe >= 0
+        )
+        self._row_by_eid: Dict[EdgeId, int] = {
+            int(eid): row for row, eid in enumerate(arrays["repl_eids"])
+        }
+        self._marked: Set[EdgeId] = set()
+        self._fallback_cap = max(1, fallback_cache)
+        self._fallback: "OrderedDict[FrozenSet[EdgeId], object]" = OrderedDict()
+        self.stats = OracleStats()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(
+        cls,
+        tree: ShortestPathTree,
+        replacement: Optional[ReplacementEngine] = None,
+        *,
+        engine: Optional[str] = None,
+        precompute: bool = True,
+    ) -> "QueryOracle":
+        """Oracle over live objects (no snapshot file involved)."""
+        structure = OracleStructure.from_live(
+            tree, replacement, precompute=precompute
+        )
+        return cls(structure, engine=engine)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        engine: Optional[str] = None,
+        mapped: Optional[bool] = None,
+    ) -> "QueryOracle":
+        """Oracle over a snapshot file (see
+        :func:`~repro.oracle.snapshot.load_structure`)."""
+        from repro.oracle.snapshot import load_structure
+
+        return cls(load_structure(path, mapped=mapped), engine=engine)
+
+    # ------------------------------------------------------------------
+    # incremental failure state
+    # ------------------------------------------------------------------
+    def mark_down(self, eid: EdgeId) -> None:
+        """Add ``eid`` to the standing failure set of every query."""
+        self._check_eid(eid)
+        self._marked.add(int(eid))
+
+    def mark_up(self, eid: EdgeId) -> None:
+        """Remove ``eid`` from the standing failure set (no-op if absent)."""
+        self._check_eid(eid)
+        self._marked.discard(int(eid))
+
+    @property
+    def marked(self) -> FrozenSet[EdgeId]:
+        """The standing failure set maintained by ``mark_down``/``mark_up``."""
+        return frozenset(self._marked)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def dist(
+        self, v: Vertex, failed: Optional[Iterable[EdgeId]] = None
+    ) -> Optional[int]:
+        """Composite distance from the source to ``v`` avoiding the
+        failed edges (``None`` when disconnected)."""
+        self._check_vertex(v)
+        kind, payload = self._classify(failed)
+        self._count(kind)
+        return self._dist_via(kind, payload, v)
+
+    def hops(
+        self, v: Vertex, failed: Optional[Iterable[EdgeId]] = None
+    ) -> Optional[int]:
+        """Hop count (BFS distance) to ``v`` avoiding the failed edges."""
+        d = self.dist(v, failed)
+        return None if d is None else d >> self._shift
+
+    def dist_many(
+        self,
+        targets: Sequence[Vertex],
+        failed: Optional[Iterable[EdgeId]] = None,
+    ) -> List[Optional[int]]:
+        """Batched :meth:`dist`: one classification, many targets."""
+        for v in targets:
+            self._check_vertex(v)
+        kind, payload = self._classify(failed)
+        self._count(kind, len(targets))
+        return [self._dist_via(kind, payload, v) for v in targets]
+
+    def parent_of(
+        self, v: Vertex, failed: Optional[Iterable[EdgeId]] = None
+    ) -> Tuple[Vertex, EdgeId]:
+        """``(parent, parent_eid)`` of ``v`` on its unique surviving
+        shortest path (``(-1, -1)`` for the source or unreachable)."""
+        self._check_vertex(v)
+        kind, payload = self._classify(failed)
+        self._count(kind)
+        return self._parent_via(kind, payload, v)
+
+    def path(
+        self, v: Vertex, failed: Optional[Iterable[EdgeId]] = None
+    ) -> List[Vertex]:
+        """Vertices of the unique shortest path source -> ``v`` avoiding
+        the failed edges; :class:`~repro.errors.GraphError` when none."""
+        return self._walk(v, failed)[0]
+
+    def path_edges(
+        self, v: Vertex, failed: Optional[Iterable[EdgeId]] = None
+    ) -> List[EdgeId]:
+        """Edge ids of the unique shortest path source -> ``v``."""
+        return self._walk(v, failed)[1]
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: Vertex) -> None:
+        if not 0 <= v < self._n:
+            raise GraphError(f"vertex {v} out of range [0, {self._n})")
+
+    def _check_eid(self, eid: EdgeId) -> None:
+        if not 0 <= eid < self._m:
+            raise GraphError(f"edge id {eid} out of range [0, {self._m})")
+
+    def _failed_set(
+        self, failed: Optional[Iterable[EdgeId]]
+    ) -> FrozenSet[EdgeId]:
+        merged: Set[EdgeId] = set(self._marked)
+        if failed is not None:
+            for eid in failed:
+                self._check_eid(eid)
+                merged.add(int(eid))
+        return frozenset(merged)
+
+    def _classify(self, failed: Optional[Iterable[EdgeId]]):
+        """Map a failure set to its answer source.
+
+        Returns ``("base", None)``, ``("row", row_index)``, or
+        ``("fallback", frozenset)``.  A cached row is only valid when
+        the tree edge is the *sole* failure: with extra non-tree
+        failures the replacement path might itself use one of them.
+        """
+        fset = self._failed_set(failed)
+        if not fset or not (fset & self._tree_eids):
+            return ("base", None)
+        if len(fset) == 1:
+            row = self._row_by_eid.get(next(iter(fset)))
+            if row is not None:
+                return ("row", row)
+        return ("fallback", fset)
+
+    def _count(self, kind: str, k: int = 1) -> None:
+        self.stats.queries += k
+        if kind == "base":
+            self.stats.base_answers += k
+        elif kind == "row":
+            self.stats.row_answers += k
+
+    def _in_row(self, row: int, v: Vertex) -> bool:
+        child = self._repl_child[row]
+        return self._tin[child] <= self._tin[v] < self._tout[child]
+
+    def _row_pos(self, row: int, v: Vertex) -> int:
+        return int(
+            self._repl_offsets[row]
+            + self._tin[v]
+            - self._tin[self._repl_child[row]]
+        )
+
+    # ------------------------------------------------------------------
+    # answer kernels
+    # ------------------------------------------------------------------
+    def _base_dist(self, v: Vertex) -> Optional[int]:
+        h = self._hop[v]
+        if h < 0 and v != self._source:
+            return None
+        return (int(h) << self._shift) + int(self._pert[v])
+
+    def _dist_via(self, kind: str, payload, v: Vertex) -> Optional[int]:
+        if kind == "base":
+            return self._base_dist(v)
+        if kind == "row":
+            if not self._in_row(payload, v):
+                return self._base_dist(v)
+            pos = self._row_pos(payload, v)
+            h = self._repl_hop[pos]
+            if h < 0:
+                return None
+            return (int(h) << self._shift) + int(self._repl_pert[pos])
+        sp = self._fallback_result(payload)
+        return sp.dist[v]
+
+    def _parent_via(
+        self, kind: str, payload, v: Vertex
+    ) -> Tuple[Vertex, EdgeId]:
+        if kind == "row" and self._in_row(payload, v):
+            pos = self._row_pos(payload, v)
+            if self._repl_hop[pos] < 0:
+                return (-1, -1)
+            return (int(self._repl_parent[pos]), int(self._repl_parent_eid[pos]))
+        if kind in ("base", "row"):
+            return (int(self._parent[v]), int(self._parent_eid[v]))
+        sp = self._fallback_result(payload)
+        return (sp.parent[v], sp.parent_eid[v])
+
+    def _walk(
+        self, v: Vertex, failed: Optional[Iterable[EdgeId]]
+    ) -> Tuple[List[Vertex], List[EdgeId]]:
+        self._check_vertex(v)
+        kind, payload = self._classify(failed)
+        self._count(kind)
+        if self._dist_via(kind, payload, v) is None:
+            raise GraphError(
+                f"vertex {v} unreachable from {self._source} under the "
+                "failure set"
+            )
+        vertices = [v]
+        edges: List[EdgeId] = []
+        cur = v
+        while cur != self._source:
+            parent, parent_eid = self._parent_via(kind, payload, cur)
+            if parent < 0:  # pragma: no cover - guarded by the dist check
+                raise GraphError(f"broken parent chain at vertex {cur}")
+            edges.append(parent_eid)
+            vertices.append(parent)
+            cur = parent
+        vertices.reverse()
+        edges.reverse()
+        return vertices, edges
+
+    # ------------------------------------------------------------------
+    # fallback traversal (uncached multi-failure sets)
+    # ------------------------------------------------------------------
+    def _fallback_result(self, fset: FrozenSet[EdgeId]):
+        cached = self._fallback.get(fset)
+        if cached is not None:
+            self._fallback.move_to_end(fset)
+            self.stats.fallback_hits += 1
+            return cached
+        from repro.engine.registry import get_engine
+
+        engine = get_engine(self._engine_name)
+        sp = engine.shortest_paths(
+            self.structure.graph,
+            self.structure.weights,
+            self._source,
+            banned_edges=set(fset),
+        )
+        self._fallback[fset] = sp
+        while len(self._fallback) > self._fallback_cap:
+            self._fallback.popitem(last=False)
+        self.stats.fallback_traversals += 1
+        return sp

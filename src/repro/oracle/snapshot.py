@@ -1,0 +1,562 @@
+"""Versioned, mmap-able snapshots of a built FT-BFS query structure.
+
+The structure the paper constructs *is* a single-edge-failure
+sensitivity oracle, but until PR 9 it only existed as live Python
+objects: serving queries meant rebuilding the tree and the replacement
+cache from scratch in every process.  This module makes the built
+structure a **file**:
+
+``save_structure``
+    Serializes graph CSR + weight perturbations + the SPT arrays + the
+    full :class:`~repro.spt.replacement.ReplacementEngine` sweep output
+    into one snapshot of 64-byte-aligned int64 planes behind a tiny
+    binary prelude and a JSON field table.
+
+``load_structure``
+    Maps the file (``mmap`` + zero-copy numpy views over the planes -
+    O(1) in graph size, nothing is parsed) and rebuilds the same
+    façades the shared-memory plane workers use
+    (:func:`repro.engine.shm.weights_facade` /
+    :func:`~repro.engine.shm.tree_facade`), so a loaded structure is
+    query-ready immediately and bit-identical to the saved one.
+    Without numpy the planes decode into ``array('q')`` sequences
+    instead (an O(n + m) read, documented fallback - correctness is
+    identical, only the O(1) load guarantee is numpy-backed).
+
+File format (version 1)
+-----------------------
+========  ==========================================================
+bytes     content
+========  ==========================================================
+0..7      magic ``b"RPROSNAP"``
+8..15     format version (int64, native order)
+16..23    endianness sentinel ``0x0102030405060708`` (int64, native)
+24..31    JSON header length in bytes (int64)
+32..      JSON header: graph/weights/tree metadata + the field table
+          ``[[name, relative_offset, length], ...]``
+aligned   int64 planes, each 64-byte aligned; the plane region starts
+          at the first 64-byte boundary after the JSON header
+========  ==========================================================
+
+A reader on a machine with the opposite byte order sees a flipped
+sentinel and gets a :class:`~repro.errors.SnapshotError` instead of
+garbage distances; truncated files fail the field-table bounds check
+the same way.  The replacement planes are Euler-keyed: row ``i`` covers
+``subtree_vertices(repl_child[i])`` in preorder, so per-row vertex keys
+are implied, never stored (see
+:meth:`~repro.spt.replacement.ReplacementEngine.export_arrays`).
+
+Snapshots require the weights to be int64-representable - any random
+scheme assignment, or the exact scheme up to 62 edges (the same gate as
+``WeightAssignment.pert_array``).  Exceeding that raises
+:class:`~repro.errors.SnapshotError` at save time, never silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro._types import EdgeId, Vertex
+from repro.errors import SnapshotError
+from repro.graphs.graph import Graph
+from repro.spt.replacement import ReplacementEngine
+from repro.spt.spt_tree import ShortestPathTree
+from repro.spt.weights import WeightAssignment
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "OracleStructure",
+    "save_structure",
+    "load_structure",
+]
+
+SNAPSHOT_MAGIC = b"RPROSNAP"
+SNAPSHOT_VERSION = 1
+
+#: Written in native byte order; a flipped read means the file crossed
+#: an endianness boundary.
+_ENDIAN_SENTINEL = 0x0102030405060708
+_ENDIAN_FLIPPED = int.from_bytes(
+    _ENDIAN_SENTINEL.to_bytes(8, "little"), "big", signed=False
+)
+
+_ALIGN = 64
+_PRELUDE = struct.Struct("=8sqqq")  # magic, version, sentinel, json length
+
+#: Planes every snapshot must carry, in canonical order.  The graph/
+#: weights/tree names match the shared-memory plane fields exactly, so
+#: a loaded snapshot can republish through ``publish_plane_arrays``
+#: unchanged; the ``repl_*`` names match ``ReplacementEngine`` exports.
+PLANE_NAMES = (
+    "indptr",
+    "indices",
+    "edge_ids",
+    "edge_u",
+    "edge_v",
+    "pert",
+    "tree_hop",
+    "tree_pert",
+    "tree_parent",
+    "tree_parent_eid",
+    "tree_tin",
+    "tree_tout",
+    "tree_preorder",
+    "repl_eids",
+    "repl_child",
+    "repl_offsets",
+    "repl_hop",
+    "repl_pert",
+    "repl_parent",
+    "repl_parent_eid",
+)
+
+#: The subset republished as the shared-memory tree plane by the server.
+TREE_PLANE_NAMES = PLANE_NAMES[:13]
+
+#: The replacement planes (the server's aux segment).
+REPL_PLANE_NAMES = PLANE_NAMES[13:]
+
+
+# ----------------------------------------------------------------------
+# the in-memory structure (live or mapped)
+# ----------------------------------------------------------------------
+@dataclass
+class OracleStructure:
+    """Everything a :class:`~repro.oracle.query.QueryOracle` reads.
+
+    ``arrays`` maps plane names to int-indexable sequences - live
+    Python lists, mmap-backed numpy views, attached shared-memory
+    arrays; the oracle never cares which.  ``owner`` (if any) pins the
+    backing mapping: the mmap'd file for a loaded snapshot, following
+    the same discipline as the shm façades (numpy views do not keep
+    their buffer alive on their own).
+    """
+
+    graph: Graph
+    weights: WeightAssignment
+    tree: ShortestPathTree
+    source: Vertex
+    arrays: Mapping[str, Sequence[int]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+    replacement: Optional[ReplacementEngine] = None
+    owner: Any = None
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def shift(self) -> int:
+        """The weight decomposition shift (``dist = (hop << shift) + pert``)."""
+        return self.weights.shift
+
+    @property
+    def num_replacement_rows(self) -> int:
+        """Exported tree-edge failure rows available for O(path) queries."""
+        return len(self.arrays["repl_eids"])
+
+    def close(self) -> None:
+        """Release the backing mapping (no-op for live structures).
+
+        Best-effort: with plane views still referenced somewhere the
+        mapping stays open until they are collected (the mmap refuses
+        to close under exported buffers), exactly like a shm segment.
+        """
+        owner = self.owner
+        self.owner = None
+        if owner is not None:
+            owner.close()
+
+    @classmethod
+    def from_live(
+        cls,
+        tree: ShortestPathTree,
+        replacement: Optional[ReplacementEngine] = None,
+        *,
+        precompute: bool = True,
+    ) -> "OracleStructure":
+        """Wrap live objects (no file, no copies of the tree arrays).
+
+        With ``precompute`` (the default) the replacement cache is
+        filled through the engine sweep first, so every single-tree-edge
+        failure is an O(path) row; big-int exact-scheme weights are fine
+        here - only *serialization* needs fixed width.
+        """
+        if replacement is None:
+            replacement = ReplacementEngine(tree)
+        if precompute:
+            replacement.precompute_all()
+        arrays: Dict[str, Sequence[int]] = {
+            "tree_hop": tree.depth,
+            "tree_pert": tree.dist_perturbations(),
+            "tree_parent": tree.parent,
+            "tree_parent_eid": tree.parent_eid,
+            "tree_tin": tree.tin,
+            "tree_tout": tree.tout,
+            "tree_preorder": tree.preorder,
+        }
+        arrays.update(replacement.export_arrays())
+        meta = {
+            "num_vertices": tree.graph.num_vertices,
+            "num_edges": tree.graph.num_edges,
+            "source": tree.source,
+            "graph_name": tree.graph.name,
+            "live": True,
+        }
+        return cls(
+            graph=tree.graph,
+            weights=tree.weights,
+            tree=tree,
+            source=tree.source,
+            arrays=arrays,
+            meta=meta,
+            replacement=replacement,
+        )
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def _encode_plane(name: str, values) -> bytes:
+    """Values as native int64 bytes; loud on anything unrepresentable."""
+    tobytes = getattr(values, "tobytes", None)
+    if tobytes is not None and getattr(values, "itemsize", 0) == 8:
+        return tobytes()
+    try:
+        packed = array("q", (int(x) for x in values))
+    except OverflowError:
+        raise SnapshotError(
+            f"plane {name!r} has values outside int64 - the exact weight "
+            "scheme past 62 edges cannot be snapshotted; build the tree "
+            "with the random scheme"
+        ) from None
+    if packed.itemsize != 8:  # pragma: no cover - exotic platforms only
+        raise SnapshotError("platform has no 8-byte array('q') type")
+    return packed.tobytes()
+
+
+def _csr_planes(graph: Graph) -> List[Tuple[str, Sequence[int]]]:
+    """Graph CSR planes - numpy view when available, pure-python else."""
+    try:
+        from repro.engine.csr import csr_view
+    except ImportError:
+        csr_view = None
+    if csr_view is not None:
+        csr = csr_view(graph)
+        return [
+            ("indptr", csr.indptr),
+            ("indices", csr.indices),
+            ("edge_ids", csr.edge_ids),
+            ("edge_u", csr.edge_u),
+            ("edge_v", csr.edge_v),
+        ]
+    indptr = [0]
+    indices: List[int] = []
+    edge_ids: List[int] = []
+    for v in range(graph.num_vertices):
+        for u, eid in graph.adjacency(v):
+            indices.append(u)
+            edge_ids.append(eid)
+        indptr.append(len(indices))
+    edge_u = [u for u, _ in graph.edge_list()]
+    edge_v = [v for _, v in graph.edge_list()]
+    return [
+        ("indptr", indptr),
+        ("indices", indices),
+        ("edge_ids", edge_ids),
+        ("edge_u", edge_u),
+        ("edge_v", edge_v),
+    ]
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def save_structure(
+    path,
+    tree: ShortestPathTree,
+    replacement: Optional[ReplacementEngine] = None,
+    *,
+    precompute: bool = True,
+) -> Path:
+    """Write a query-ready snapshot of ``tree`` (+ replacement cache).
+
+    With ``precompute`` (the default) every tree-edge failure is swept
+    into the cache first, so the saved file answers all single-failure
+    queries in O(path); pass ``precompute=False`` to snapshot whatever
+    subset is already cached.  The write is atomic (temp file + rename).
+    Raises :class:`~repro.errors.SnapshotError` when the weights have no
+    int64 representation (see the module docstring).
+    """
+    path = Path(path)
+    weights = tree.weights
+    big = weights.big
+    perts = [w - big for w in weights.weights]
+    if perts and min(perts) < 0:
+        raise SnapshotError("weights below BIG cannot be decomposed")
+    if replacement is None:
+        replacement = ReplacementEngine(tree)
+    if precompute:
+        replacement.precompute_all()
+
+    planes: List[Tuple[str, Sequence[int]]] = _csr_planes(tree.graph)
+    planes += [
+        ("pert", perts),
+        ("tree_hop", tree.depth),
+        ("tree_pert", tree.dist_perturbations()),
+        ("tree_parent", tree.parent),
+        ("tree_parent_eid", tree.parent_eid),
+        ("tree_tin", tree.tin),
+        ("tree_tout", tree.tout),
+        ("tree_preorder", tree.preorder),
+    ]
+    repl = replacement.export_arrays()
+    planes += [(name, repl[name]) for name in REPL_PLANE_NAMES]
+
+    blobs: List[Tuple[int, bytes]] = []
+    fields: List[List[Any]] = []
+    offset = 0
+    for name, values in planes:
+        data = _encode_plane(name, values)
+        offset = _align(offset)
+        fields.append([name, offset, len(data) // 8])
+        blobs.append((offset, data))
+        offset += len(data)
+
+    meta = {
+        "format": "repro-oracle-snapshot",
+        "version": SNAPSHOT_VERSION,
+        "num_vertices": tree.graph.num_vertices,
+        "num_edges": tree.graph.num_edges,
+        "source": tree.source,
+        "graph_name": tree.graph.name,
+        "weights": {
+            "shift": weights.shift,
+            "scheme": weights.scheme,
+            "seed": weights.seed,
+            "max_pert": max(perts) if perts else 0,
+        },
+        "replacement_rows": len(repl["repl_eids"]),
+        "fields": fields,
+    }
+    header = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    data_start = _align(_PRELUDE.size + len(header))
+
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(
+            _PRELUDE.pack(
+                SNAPSHOT_MAGIC, SNAPSHOT_VERSION, _ENDIAN_SENTINEL, len(header)
+            )
+        )
+        fh.write(header)
+        fh.write(b"\0" * (data_start - _PRELUDE.size - len(header)))
+        pos = 0
+        for rel_offset, data in blobs:
+            fh.write(b"\0" * (rel_offset - pos))
+            fh.write(data)
+            pos = rel_offset + len(data)
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+class _SnapshotMapping:
+    """Pins the open file + mmap under the mapped plane views."""
+
+    __slots__ = ("_file", "_mm")
+
+    def __init__(self, file, mm) -> None:
+        self._file = file
+        self._mm = mm
+
+    def close(self) -> None:
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:  # views still alive; closes on their GC
+                pass
+            else:
+                self._mm = None
+        if self._mm is None and self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _read_prelude(buf, size: int, path: Path):
+    if size < _PRELUDE.size:
+        raise SnapshotError(f"{path}: truncated snapshot ({size} bytes)")
+    magic, version, sentinel, header_len = _PRELUDE.unpack_from(buf, 0)
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(f"{path}: not a repro snapshot (bad magic)")
+    if sentinel != _ENDIAN_SENTINEL:
+        if sentinel == _ENDIAN_FLIPPED:
+            raise SnapshotError(
+                f"{path}: endianness mismatch - snapshot written on an "
+                "opposite-byte-order machine"
+            )
+        raise SnapshotError(f"{path}: corrupt snapshot prelude")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path}: unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    if header_len <= 0 or _PRELUDE.size + header_len > size:
+        raise SnapshotError(f"{path}: truncated snapshot header")
+    return header_len
+
+
+def _parse_meta(buf, header_len: int, path: Path) -> Dict[str, Any]:
+    raw = bytes(buf[_PRELUDE.size : _PRELUDE.size + header_len])
+    try:
+        meta = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path}: corrupt snapshot header ({exc})") from None
+    for key in ("num_vertices", "num_edges", "source", "weights", "fields"):
+        if key not in meta:
+            raise SnapshotError(f"{path}: snapshot header missing {key!r}")
+    names = [f[0] for f in meta["fields"]]
+    missing = [name for name in PLANE_NAMES if name not in names]
+    if missing:
+        raise SnapshotError(f"{path}: snapshot missing planes {missing}")
+    return meta
+
+
+def load_structure(path, *, mapped: Optional[bool] = None) -> OracleStructure:
+    """Load a snapshot into a query-ready :class:`OracleStructure`.
+
+    ``mapped=None`` (the default) memory-maps the planes when numpy is
+    available and falls back to decoding ``array('q')`` sequences
+    otherwise; ``mapped=True`` insists on the zero-copy path (raises
+    :class:`~repro.errors.SnapshotError` without numpy) and
+    ``mapped=False`` forces the decode path (exercised by tests and
+    useful for short-lived scripts on network filesystems).
+
+    Raises :class:`~repro.errors.SnapshotError` on bad magic, version or
+    endianness mismatch, truncated planes, or a missing file.
+    """
+    path = Path(path)
+    if mapped is None or mapped:
+        try:
+            import numpy  # noqa: F401
+
+            have_numpy = True
+        except ImportError:
+            have_numpy = False
+        if mapped and not have_numpy:
+            raise SnapshotError("mapped load requires numpy")
+        mapped = have_numpy
+
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise SnapshotError(f"cannot open snapshot {path}: {exc}") from None
+
+    owner = None
+    try:
+        size = os.fstat(fh.fileno()).st_size
+        if size < _PRELUDE.size:
+            raise SnapshotError(f"{path}: truncated snapshot ({size} bytes)")
+        if mapped:
+            import mmap
+
+            import numpy as np
+
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            buf = mm
+            owner = _SnapshotMapping(fh, mm)
+        else:
+            buf = fh.read()
+        header_len = _read_prelude(buf, size, path)
+        meta = _parse_meta(buf, header_len, path)
+        data_start = _align(_PRELUDE.size + header_len)
+
+        arrays: Dict[str, Sequence[int]] = {}
+        for name, rel_offset, length in meta["fields"]:
+            start = data_start + int(rel_offset)
+            if start + 8 * int(length) > size:
+                raise SnapshotError(
+                    f"{path}: truncated snapshot - plane {name!r} extends "
+                    "past end of file"
+                )
+            if mapped:
+                arr = np.frombuffer(
+                    buf, dtype=np.int64, count=int(length), offset=start
+                )
+                arrays[name] = arr
+            else:
+                seq = array("q")
+                seq.frombytes(buf[start : start + 8 * int(length)])
+                arrays[name] = seq
+    except Exception:
+        if owner is not None:
+            owner.close()
+        else:
+            fh.close()
+        raise
+    if not mapped:
+        fh.close()
+
+    return _assemble(arrays, meta, owner)
+
+
+def _assemble(
+    arrays: Mapping[str, Sequence[int]],
+    meta: Dict[str, Any],
+    owner: Any,
+) -> OracleStructure:
+    """Rebuild the graph/weights/tree façades over loaded planes."""
+    from repro.engine.shm import tree_facade, weights_facade
+
+    n = int(meta["num_vertices"])
+    m = int(meta["num_edges"])
+    wmeta = meta["weights"]
+    graph_name = meta.get("graph_name", "")
+
+    graph: Graph
+    if hasattr(arrays["indptr"], "tolist") and not isinstance(
+        arrays["indptr"], array
+    ):
+        from repro.engine.csr import CSRAdjacency
+        from repro.engine.shm import SharedGraph
+
+        csr = CSRAdjacency.from_arrays(n, m, dict(arrays), owner=owner)
+        graph = SharedGraph(csr, name=graph_name)
+    else:
+        edges = list(zip(arrays["edge_u"], arrays["edge_v"]))
+        graph = Graph(n, edges, name=graph_name)
+
+    weights = weights_facade(
+        arrays["pert"],
+        int(wmeta["shift"]),
+        wmeta["scheme"],
+        int(wmeta["seed"]),
+        int(wmeta["max_pert"]),
+        owner,
+    )
+    tree = tree_facade(graph, weights, int(meta["source"]), arrays)
+    replacement = ReplacementEngine.from_arrays(tree, arrays)
+    return OracleStructure(
+        graph=graph,
+        weights=weights,
+        tree=tree,
+        source=int(meta["source"]),
+        arrays=arrays,
+        meta=meta,
+        replacement=replacement,
+        owner=owner,
+    )

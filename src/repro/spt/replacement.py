@@ -27,12 +27,24 @@ implementation *is* the per-call loop - which
 ``tests/test_weighted_parity.py`` enforces property-based.  ``stats()``
 exposes the sweep/lazy/hit counters (surfaced in ``PconsStats``) and
 ``clear()`` drops the cache so long-lived runs can bound memory.
+
+A third source feeds the cache since PR 9: a **snapshot layer**
+(:meth:`ReplacementEngine.export_arrays` /
+:meth:`ReplacementEngine.from_arrays`).  ``export_arrays()`` flattens
+every cached failure into Euler-keyed int64-representable planes - each
+failed edge's row covers exactly ``subtree_vertices(child)`` in preorder,
+so the vertex keys never need storing - and ``from_arrays()`` rebuilds an
+engine whose misses materialize rows from those planes instead of
+traversing.  ``stats()`` counts those as ``snapshot_hits``, distinct
+from ``lazy_computes``/``sweep_fills``, so oracle serving stays
+observable through the existing counters.  The round trip is
+bit-identical: a materialized row equals the fresh compute exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro._types import EdgeId, Vertex
 from repro.engine.base import replacement_failure
@@ -81,6 +93,8 @@ class ReplacementStats:
     sweep_fills: int
     #: Cache hits served without recomputing.
     hits: int
+    #: Failures materialized from imported snapshot planes (no traversal).
+    snapshot_hits: int = 0
 
 
 class ReplacementEngine:
@@ -102,6 +116,12 @@ class ReplacementEngine:
         self._lazy_since_clear = 0
         self._sweep_fills = 0
         self._hits = 0
+        self._snapshot_hits = 0
+        #: Imported snapshot planes (see :meth:`from_arrays`); survives
+        #: clear() - the backing store is immutable, only the dict cache
+        #: is droppable.
+        self._snapshot: Optional[Dict[str, Sequence[int]]] = None
+        self._snapshot_rows: Dict[EdgeId, int] = {}
 
     # ------------------------------------------------------------------
     def failure(self, eid: EdgeId) -> EdgeFailure:
@@ -109,6 +129,15 @@ class ReplacementEngine:
         data = self._cache.get(eid)
         if data is not None:
             self._hits += 1
+            return data
+        row = self._snapshot_rows.get(eid)
+        if row is not None:
+            # Snapshot rows materialize without traversing - they count
+            # neither as lazy probes (no eager-upgrade pressure) nor as
+            # sweep fills.
+            data = self._materialize_row(row)
+            self._cache[eid] = data
+            self._snapshot_hits += 1
             return data
         if (
             self._lazy_since_clear >= self._eager_threshold
@@ -149,7 +178,15 @@ class ReplacementEngine:
         return None if d is None else self.weights.hops(d)
 
     def precompute_all(self) -> None:
-        """Fill every missing tree-edge failure through the engine sweep."""
+        """Fill every missing tree-edge failure.
+
+        Snapshot-backed edges materialize from the imported planes; only
+        genuinely missing ones go through the engine sweep.
+        """
+        for eid, row in self._snapshot_rows.items():
+            if eid not in self._cache:
+                self._cache[eid] = self._materialize_row(row)
+                self._snapshot_hits += 1
         missing = [
             eid for eid in self.tree.tree_edges() if eid not in self._cache
         ]
@@ -177,13 +214,126 @@ class ReplacementEngine:
         self._lazy_since_clear = 0
 
     def stats(self) -> ReplacementStats:
-        """Sweep/lazy/hit counters plus the current cache size."""
+        """Sweep/lazy/snapshot/hit counters plus the current cache size."""
         return ReplacementStats(
             cached_edges=len(self._cache),
             tree_edges=self._num_tree_edges,
             lazy_computes=self._lazy_computes,
             sweep_fills=self._sweep_fills,
             hits=self._hits,
+            snapshot_hits=self._snapshot_hits,
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot planes: flat, Euler-keyed, int-sequence import/export
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Dict[str, List[int]]:
+        """Flatten every cached failure into Euler-keyed integer planes.
+
+        Returns plain Python lists (callers choose the storage width):
+
+        ``repl_eids``/``repl_child``
+            One entry per exported failed edge, in tree-edge preorder.
+        ``repl_offsets``
+            ``len(repl_eids) + 1`` prefix offsets into the flat planes.
+        ``repl_hop``/``repl_pert``/``repl_parent``/``repl_parent_eid``
+            Row ``i`` covers ``subtree_vertices(repl_child[i])`` *in
+            preorder* - the vertex keys are implied by the Euler
+            interval, never stored.  ``hop = -1`` marks a disconnected
+            vertex (``pert`` 0, ``parent``/``parent_eid`` -1); otherwise
+            ``dist = (hop << shift) + pert``.
+
+        The inverse is :meth:`from_arrays`; the round trip is exact for
+        any weight scheme (big-int perturbations stay big ints here -
+        only a fixed-width *serialization* restricts them).
+        """
+        tree = self.tree
+        shift = self.weights.shift
+        mask = self.weights.big - 1
+        eids: List[int] = []
+        child: List[int] = []
+        offsets: List[int] = [0]
+        hop: List[int] = []
+        pert: List[int] = []
+        parent: List[int] = []
+        parent_eid: List[int] = []
+        for eid in tree.tree_edges():
+            data = self._cache.get(eid)
+            if data is None:
+                continue
+            eids.append(eid)
+            child.append(data.child)
+            for v in tree.subtree_vertices(data.child):
+                d = data.dist.get(v)
+                if d is None:
+                    hop.append(-1)
+                    pert.append(0)
+                    parent.append(-1)
+                    parent_eid.append(-1)
+                else:
+                    hop.append(d >> shift)
+                    pert.append(d & mask)
+                    parent.append(data.parent[v])
+                    parent_eid.append(data.parent_eid[v])
+            offsets.append(len(hop))
+        return {
+            "repl_eids": eids,
+            "repl_child": child,
+            "repl_offsets": offsets,
+            "repl_hop": hop,
+            "repl_pert": pert,
+            "repl_parent": parent,
+            "repl_parent_eid": parent_eid,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, tree: ShortestPathTree, arrays: Dict[str, Sequence[int]]
+    ) -> "ReplacementEngine":
+        """Rebuild an engine over :meth:`export_arrays`-shaped planes.
+
+        The planes become an immutable backing store: a cache miss on an
+        exported edge materializes its :class:`EdgeFailure` from the row
+        (counted as ``snapshot_hits``), bit-identical to the original
+        compute; edges outside the export still go through the normal
+        lazy/sweep paths.  The arrays may be any int-indexable sequences
+        - Python lists, numpy views, mmap-backed planes.
+        """
+        engine = cls(tree)
+        engine._snapshot = arrays
+        engine._snapshot_rows = {
+            int(eid): i for i, eid in enumerate(arrays["repl_eids"])
+        }
+        return engine
+
+    def _materialize_row(self, row: int) -> EdgeFailure:
+        arrays = self._snapshot
+        lo = int(arrays["repl_offsets"][row])
+        hi = int(arrays["repl_offsets"][row + 1])
+        child = int(arrays["repl_child"][row])
+        shift = self.weights.shift
+        sub = self.tree.subtree_vertices(child)
+        dist: Dict[Vertex, Optional[int]] = {}
+        parent: Dict[Vertex, Vertex] = {}
+        parent_eid: Dict[Vertex, EdgeId] = {}
+        hops = _as_list(arrays["repl_hop"], lo, hi)
+        perts = _as_list(arrays["repl_pert"], lo, hi)
+        parents = _as_list(arrays["repl_parent"], lo, hi)
+        parent_eids = _as_list(arrays["repl_parent_eid"], lo, hi)
+        for i, v in enumerate(sub):
+            h = hops[i]
+            if h < 0:
+                dist[v] = None
+            else:
+                dist[v] = (h << shift) + perts[i]
+                parent[v] = parents[i]
+                parent_eid[v] = parent_eids[i]
+        return EdgeFailure(
+            eid=int(arrays["repl_eids"][row]),
+            child=child,
+            dist=dist,
+            parent=parent,
+            parent_eid=parent_eid,
         )
 
     # ------------------------------------------------------------------
@@ -197,3 +347,12 @@ class ReplacementEngine:
         return EdgeFailure(
             eid=eid, child=child, dist=dist, parent=parent, parent_eid=parent_eid
         )
+
+
+def _as_list(seq: Sequence[int], lo: int, hi: int) -> List[int]:
+    """A slice of ``seq`` as plain Python ints (numpy rows round-trip
+    through ``tolist`` so materialized dicts hold exact big-int-safe
+    values, never numpy scalars)."""
+    part = seq[lo:hi]
+    tolist = getattr(part, "tolist", None)
+    return tolist() if tolist is not None else [int(x) for x in part]

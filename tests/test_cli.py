@@ -1,5 +1,8 @@
 """Tests for the CLI entry points."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -98,6 +101,82 @@ class TestBuild:
         rc = main(["build", "--workload", "grid", "--no-verify"])
         assert rc == 0
         assert "verified" not in capsys.readouterr().out
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    path = tmp_path / "oracle.snap"
+    assert main(["build", "--workload", "gnp", "--n", "60",
+                 "--seed", "1", "--save", str(path)]) == 0
+    assert path.exists()
+    return path
+
+
+class TestOracleCLI:
+    def test_build_save_reports_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "s.snap"
+        rc = main(["build", "--workload", "gnp", "--n", "50",
+                   "--save", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "snapshot ->" in out and "replacement rows" in out
+        assert path.exists()
+
+    def test_query_check_passes(self, capsys, snapshot_file):
+        rc = main(["query", str(snapshot_file), "--sample", "6", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "check: ok" in out
+
+    def test_query_with_failures_and_path(self, capsys, snapshot_file):
+        rc = main(["query", str(snapshot_file), "--target", "7",
+                   "--failed", "0,3", "--path", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "v=7" in out and "path:" in out and "check: ok" in out
+
+    def test_query_missing_snapshot_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["query", str(tmp_path / "missing.snap")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_engine_flag_resets_default(self, snapshot_file):
+        from repro.engine import get_engine
+
+        before = get_engine().name
+        assert main(["query", str(snapshot_file), "--sample", "3",
+                     "--check", "--engine", "python"]) == 0
+        assert get_engine().name == before
+
+    def test_query_engine_env_var_precedence(self, snapshot_file, monkeypatch):
+        """The --engine flag beats $REPRO_ENGINE, matching the chain
+        pinned for the other subcommands."""
+        monkeypatch.setenv("REPRO_ENGINE", "nonexistent-engine")
+        assert main(["query", str(snapshot_file), "--sample", "3",
+                     "--check", "--engine", "python"]) == 0
+
+    def test_serve_inline_protocol(self, capsys, snapshot_file, monkeypatch):
+        requests = [
+            {"op": "ping"},
+            {"op": "dist", "v": 5},
+            {"op": "shutdown"},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("\n".join(json.dumps(r) for r in requests))
+        )
+        capsys.readouterr()  # drop the fixture's build output
+        rc = main(["serve", str(snapshot_file)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["ok"] for r in responses] == [True, True, True]
+        assert responses[1]["op"] == "dist"
+        assert "served 3 requests" in captured.err
+
+    def test_serve_missing_snapshot_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["serve", str(tmp_path / "missing.snap")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestRun:

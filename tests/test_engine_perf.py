@@ -78,6 +78,83 @@ def test_compiled_verify_at_least_1_3x_faster_than_csr():
     )
 
 
+def test_oracle_floors():
+    """Tier-1-sized floors for PR 9's query path (the full-size numbers
+    with the 50x / 20x acceptance floors live in
+    ``benchmarks/bench_oracle.py``).  Scaled down: a cached
+    single-failure query must beat a per-query engine recompute by >=
+    10x at p50, and ``load_structure`` must beat rebuilding the
+    structure (tree + replacement sweep) by >= 5x - margins measured in
+    the hundreds, so plenty of headroom on loaded CI workers."""
+    import random
+    import statistics
+
+    from repro.engine import get_engine
+    from repro.oracle import QueryOracle, load_structure, save_structure
+    from repro.spt import build_spt, make_weights
+    from repro.spt.replacement import ReplacementEngine
+
+    graph = connected_gnp_graph(1000, 8.0 / 999, seed=3)
+    weights = make_weights(graph, "random", seed=3)
+
+    def build():
+        tree = build_spt(graph, weights, 0)
+        engine = ReplacementEngine(tree)
+        engine.precompute_all()
+        return tree, engine
+
+    t_build = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        tree, replacement = build()
+        t_build = min(t_build, time.perf_counter() - t0)
+
+    import tempfile, os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "perf.snap")
+        save_structure(path, tree, replacement, precompute=False)
+        t_load = _best_of(3, lambda: load_structure(path).close())
+        load_speedup = t_build / t_load
+        assert load_speedup >= 5.0, (
+            f"load_structure speedup {load_speedup:.1f}x below the 5x floor "
+            f"(build {t_build:.3f}s, load {t_load:.3f}s)"
+        )
+
+        structure = load_structure(path)
+        oracle = QueryOracle(structure)
+        rng = random.Random(7)
+        tree_eids = sorted({pe for pe in tree.parent_eid if pe >= 0})
+        cases = [
+            (rng.randrange(graph.num_vertices), rng.choice(tree_eids))
+            for _ in range(64)
+        ]
+        engine = get_engine()
+        oracle.dist(cases[0][0], [cases[0][1]])  # warm
+
+        def timed(fn):
+            samples = []
+            for v, eid in cases:
+                t0 = time.perf_counter()
+                fn(v, eid)
+                samples.append(time.perf_counter() - t0)
+            return statistics.median(samples)
+
+        q_oracle = timed(lambda v, eid: oracle.dist(v, [eid]))
+        q_recompute = timed(
+            lambda v, eid: engine.shortest_paths(
+                graph, weights, 0, banned_edge=eid
+            ).dist[v]
+        )
+        query_speedup = q_recompute / q_oracle
+        structure.close()
+        assert query_speedup >= 10.0, (
+            f"cached query speedup {query_speedup:.1f}x below the 10x floor "
+            f"(recompute p50 {q_recompute * 1e6:.0f}us, "
+            f"oracle p50 {q_oracle * 1e6:.0f}us)"
+        )
+
+
 def test_compiled_weighted_floors():
     """The compiled *weighted* stack's floors, tier-1-sized.
 

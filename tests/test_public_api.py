@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.decomposition",
     "repro.lower_bounds",
     "repro.harness",
+    "repro.oracle",
     "repro.simulate",
     "repro.util",
 ]
