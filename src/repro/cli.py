@@ -31,6 +31,11 @@ Subcommands
     List the registered traversal engines (see :mod:`repro.engine`),
     including each engine's thread budget and which shared-memory plane
     segments its transport publishes.
+``check``
+    Run the repo-invariant analyzer (``tools.check``: engine-boundary,
+    optional-dependency, env-registry, shm-lifecycle, pickle-hygiene,
+    and ctypes-ABI passes) over the source tree.  Only available from a
+    source checkout - the ``tools`` package is not installed.
 
 ``run``, ``build``, ``query``, ``serve`` and ``quickstart`` accept
 ``--engine {python,csr}`` to pin the traversal engine for the whole
@@ -91,6 +96,12 @@ environment variables:
                          $CC, then cc/gcc/clang on PATH)
   REPRO_CC_CACHE         directory for compiled kernels (default:
                          $XDG_CACHE_HOME/repro or ~/.cache/repro)
+  REPRO_CC_FLAGS         extra compiler flags appended to the kernel
+                         CFLAGS (e.g. "-fsanitize=address,undefined -g");
+                         folded into the compile-cache key
+  REPRO_IN_WORKER        set to 1 by the harness in sweep worker
+                         processes so nested code skips re-sharding;
+                         not meant to be set by hand
 """
 
 
@@ -217,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flag(quickstart_p)
 
     sub.add_parser("engines", help="list registered traversal engines")
+
+    check_p = sub.add_parser(
+        "check",
+        help="run the repo-invariant analyzer (source checkouts only)",
+    )
+    check_p.add_argument(
+        "check_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m tools.check",
+    )
     return parser
 
 
@@ -438,6 +459,45 @@ def _cmd_build(name: str, n: int, epsilon: float, seed: int, no_verify: bool) ->
     return 0
 
 
+def _cmd_check(check_args: List[str]) -> int:
+    """Run ``tools.check`` from a source checkout.
+
+    The analyzer lives in ``tools/`` next to ``src/``, outside the
+    installed package; locate it relative to this file (a checkout) or
+    the working directory, and fail with a pointer otherwise.
+    """
+    import os
+    from pathlib import Path
+
+    candidates = [Path(__file__).resolve().parents[2], Path(os.getcwd())]
+    repo_root = next(
+        (
+            root
+            for root in candidates
+            if (root / "tools" / "check" / "__init__.py").is_file()
+        ),
+        None,
+    )
+    if repo_root is None:
+        print(
+            "error: tools/check not found - 'repro check' runs the "
+            "repo-invariant analyzer and needs a source checkout "
+            "(run it from the repository root)",
+            file=sys.stderr,
+        )
+        return 2
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from tools.check import main as check_main
+
+    argv = list(check_args)
+    if argv[:1] == ["--"]:
+        argv = argv[1:]
+    if not any(not arg.startswith("-") for arg in argv):
+        argv.append(str(repo_root / "src" / "repro"))
+    return check_main(argv)
+
+
 def _cmd_quickstart() -> int:
     from repro.graphs import connected_gnp_graph
 
@@ -452,8 +512,13 @@ def _cmd_quickstart() -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw[:1] == ["check"]:
+        # Forward everything verbatim: argparse's REMAINDER refuses to
+        # swallow a leading option (e.g. `repro check --engines full`).
+        return _cmd_check(raw[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     # engine_context saves and restores any pre-existing process default.
     with engine_context(getattr(args, "engine", None)):
         if args.command == "list":
@@ -482,6 +547,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if args.command == "quickstart":
             return _cmd_quickstart()
+        if args.command == "check":
+            return _cmd_check(args.check_args)
         parser.print_help()
         return 2
 

@@ -28,22 +28,26 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = [
     "CC_ENV_VAR",
     "CC_CACHE_ENV_VAR",
+    "CC_FLAGS_ENV_VAR",
     "CFLAGS",
     "KernelLib",
     "available",
     "cache_dir",
     "cc_disabled",
+    "cflags",
     "compiler_description",
+    "extra_cflags",
     "find_compiler",
     "kernel_library",
     "toolchain_info",
@@ -56,14 +60,33 @@ CC_ENV_VAR = "REPRO_CC"
 #: Overrides the kernel cache directory.
 CC_CACHE_ENV_VAR = "REPRO_CC_CACHE"
 
+#: Extra compiler flags appended to :data:`CFLAGS` (shlex-split), e.g.
+#: ``-fsanitize=address,undefined -g`` for the CI sanitizer jobs.  The
+#: flags fold into the shared-object cache key, so flipping them
+#: recompiles into a distinct cache entry instead of reusing a stale one.
+CC_FLAGS_ENV_VAR = "REPRO_CC_FLAGS"
+
 #: One compilation unit, no Python headers: plain C11 at -O3.
 CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c11")
 
 _SOURCE = Path(__file__).with_name("_ckernels.c")
 
-#: Memoized per process: False -> not attempted, None -> attempted and
-#: unavailable (warned once), else the loaded KernelLib.
-_loaded: object = False
+#: Memoized per (compiler, effective flags): None -> attempted and
+#: unavailable (warned once), else the loaded KernelLib.  Keyed so a
+#: test or sanitizer job flipping $REPRO_CC_FLAGS mid-process gets the
+#: right library, while repeat calls keep returning the same object.
+_loaded: dict = {}
+
+
+def extra_cflags() -> Tuple[str, ...]:
+    """Flags from ``$REPRO_CC_FLAGS`` (shlex-split, possibly empty)."""
+    raw = os.environ.get(CC_FLAGS_ENV_VAR, "").strip()
+    return tuple(shlex.split(raw)) if raw else ()
+
+
+def cflags() -> Tuple[str, ...]:
+    """The effective compile flags: :data:`CFLAGS` + ``$REPRO_CC_FLAGS``."""
+    return CFLAGS + extra_cflags()
 
 
 def cc_disabled() -> bool:
@@ -127,7 +150,7 @@ def cache_dir() -> Path:
 def _lib_path(cc: str) -> Path:
     source = _SOURCE.read_bytes()
     key = hashlib.sha256(
-        source + _cc_version(cc).encode() + " ".join(CFLAGS).encode()
+        source + _cc_version(cc).encode() + " ".join(cflags()).encode()
     ).hexdigest()[:16]
     return cache_dir() / f"_ckernels-{key}.so"
 
@@ -141,7 +164,7 @@ def _compile(cc: str, lib_path: Path) -> None:
     os.close(fd)
     try:
         proc = subprocess.run(
-            [cc, *CFLAGS, "-o", tmp, str(_SOURCE)],
+            [cc, *cflags(), "-o", tmp, str(_SOURCE)],
             capture_output=True,
             text=True,
             timeout=300,
@@ -201,28 +224,27 @@ def kernel_library() -> Optional[KernelLib]:
     once); ``REPRO_CC=0`` is honored even between calls, so tests can
     gate an already-warm process back out.
     """
-    global _loaded
     if cc_disabled():
         return None
-    if _loaded is not False:
-        return _loaded  # type: ignore[return-value]
     cc = find_compiler()
     if cc is None:
-        _loaded = None
         return None
+    memo_key = (cc, cflags())
+    if memo_key in _loaded:
+        return _loaded[memo_key]
     try:
         lib_path = _lib_path(cc)
         if not lib_path.exists():
             _compile(cc, lib_path)
-        _loaded = KernelLib(lib_path, cc)
+        _loaded[memo_key] = KernelLib(lib_path, cc)
     except Exception as exc:  # compile or load failure: degrade, once
         warnings.warn(
             f"csr-c kernels unavailable ({exc}); falling back to numpy kernels",
             RuntimeWarning,
             stacklevel=2,
         )
-        _loaded = None
-    return _loaded  # type: ignore[return-value]
+        _loaded[memo_key] = None
+    return _loaded[memo_key]
 
 
 def compiler_description() -> str:
@@ -235,7 +257,7 @@ def compiler_description() -> str:
     lib = kernel_library()
     if lib is None:
         return f"{_cc_version(cc)} (compile failed; numpy kernels in use)"
-    return f"{lib.cc_version} [{' '.join(CFLAGS)}] cache: {lib.path}"
+    return f"{lib.cc_version} [{' '.join(cflags())}] cache: {lib.path}"
 
 
 def toolchain_info() -> dict:
@@ -245,7 +267,7 @@ def toolchain_info() -> dict:
     return {
         "cc": cc,
         "cc_version": _cc_version(cc) if cc else None,
-        "cflags": " ".join(CFLAGS),
+        "cflags": " ".join(cflags()),
         "kernel_lib": str(lib.path) if lib else None,
         "compiled": lib is not None,
     }

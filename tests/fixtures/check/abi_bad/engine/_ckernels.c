@@ -1,0 +1,16 @@
+/* Miniature kernel source for the ABI-drift fixture. */
+#include <stdint.h>
+
+int64_t repro_bfs_order(int64_t n, int64_t *dist) {
+    for (int64_t v = 0; v < n; v++) dist[v] = v;
+    return n;
+}
+
+int64_t repro_kinds(int64_t n, int64_t *out) {
+    out[0] = n;
+    return 0;
+}
+
+int64_t repro_orphan(int64_t n) {
+    return n;
+}

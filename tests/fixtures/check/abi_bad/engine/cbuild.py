@@ -1,0 +1,20 @@
+"""Seeded ctypes bindings drifted from the fixture kernel source."""
+
+import ctypes
+
+
+class KernelLib:
+    def __init__(self, dll):
+        i64, ptr = ctypes.c_int64, ctypes.c_void_p
+
+        self.bfs_order = dll.repro_bfs_order
+        self.bfs_order.restype = i64
+        self.bfs_order.argtypes = [i64, ptr, ptr]
+
+        self.kinds = dll.repro_kinds
+        self.kinds.restype = i64
+        self.kinds.argtypes = [ptr, ptr]
+
+        self.ghost = dll.repro_ghost
+        self.ghost.restype = i64
+        self.ghost.argtypes = [i64]

@@ -1,0 +1,7 @@
+"""Seeded violation: bypasses the engine surface for a kernel import."""
+
+from myproj.engine.csr import csr_view
+
+
+def peek(graph):
+    return csr_view(graph)

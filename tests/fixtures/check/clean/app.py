@@ -1,0 +1,12 @@
+"""Clean consumer: public engine surface only, guarded numpy."""
+
+try:
+    import numpy as np
+except ImportError:
+    np = None
+
+from myproj.engine.base import TraversalEngine  # public surface: allowed
+
+
+def describe(engine: TraversalEngine) -> str:
+    return type(engine).__name__

@@ -1,0 +1,7 @@
+"""Numpy-gated kernel module: unguarded import is fine *here*."""
+
+import numpy as np
+
+
+def csr_view(graph):
+    return np.asarray(graph)

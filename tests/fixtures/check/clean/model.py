@@ -1,0 +1,15 @@
+"""Clean pickle hygiene: the memo never ships across the pool."""
+
+
+class Graph:
+    def __init__(self, edges):
+        self.edges = edges
+        self._csr_cache = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_csr_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)

@@ -1,0 +1,11 @@
+"""Clean shm creation: the segment lands in the owned registry."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+_OWNED = {}
+
+
+def publish(name: str, size: int) -> SharedMemory:
+    seg = SharedMemory(name=name, create=True, size=size)
+    _OWNED[seg.name] = seg
+    return seg

@@ -1,0 +1,7 @@
+"""Help epilog for the fixture CLI - deliberately out of sync."""
+
+_ENV_VAR_HELP = """\
+environment variables:
+  REPRO_KNOB   tunes the widget factor
+  REPRO_GHOST  documented here but read by nothing
+"""

@@ -1,0 +1,14 @@
+"""Reads one documented and one undocumented env var."""
+
+import os
+
+KNOB_ENV_VAR = "REPRO_KNOB"
+WIDGET_ENV_VAR = "REPRO_WIDGET"
+
+
+def knob() -> str:
+    return os.environ.get(KNOB_ENV_VAR, "")
+
+
+def widget() -> str:
+    return os.environ.get(WIDGET_ENV_VAR, "")

@@ -1,0 +1,7 @@
+"""Seeded violation: unguarded optional dependency at module scope."""
+
+import numpy as np
+
+
+def mean(values):
+    return float(np.mean(values))

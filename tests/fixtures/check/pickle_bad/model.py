@@ -1,0 +1,16 @@
+"""Seeded violations: memoized caches ride along in pickles."""
+
+
+class Graph:
+    def __init__(self, edges):
+        self.edges = edges
+        self._csr_cache = None
+
+
+class Payload:
+    def __init__(self, blob):
+        self.blob = blob
+        self._blob_cache = {}
+
+    def __getstate__(self):
+        return dict(self.__dict__)

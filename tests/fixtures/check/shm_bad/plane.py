@@ -1,0 +1,8 @@
+"""Seeded violation: the created segment leaks /dev/shm space."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(name: str, size: int) -> SharedMemory:
+    seg = SharedMemory(name=name, create=True, size=size)
+    return seg

@@ -120,6 +120,59 @@ class TestRegistration:
 
 
 @requires_csrc
+class TestCcFlags:
+    """``$REPRO_CC_FLAGS``: extra flags reach the compile line and key
+    the cache, so a sanitizer build never reuses (or poisons) the plain
+    cached object."""
+
+    def test_extra_flags_fold_into_cache_key(self, monkeypatch):
+        cc = cbuild.find_compiler()
+        monkeypatch.delenv(cbuild.CC_FLAGS_ENV_VAR, raising=False)
+        base = cbuild._lib_path(cc)
+        assert cbuild.extra_cflags() == ()
+        assert cbuild.cflags() == cbuild.CFLAGS
+        monkeypatch.setenv(cbuild.CC_FLAGS_ENV_VAR, "-g -DREPRO_TEST=1")
+        assert cbuild.extra_cflags() == ("-g", "-DREPRO_TEST=1")
+        assert cbuild.cflags() == cbuild.CFLAGS + ("-g", "-DREPRO_TEST=1")
+        assert cbuild._lib_path(cc) != base
+
+    def test_flag_flip_compiles_a_distinct_library(self, tmp_path):
+        """Flipping the flags mid-process compiles into a second cache
+        entry and the memo keeps both libraries live independently."""
+        proc = _run_py(
+            "import os\n"
+            "from repro.engine import cbuild\n"
+            "plain = cbuild.kernel_library()\n"
+            "assert plain is not None\n"
+            "os.environ['REPRO_CC_FLAGS'] = '-fno-omit-frame-pointer'\n"
+            "flagged = cbuild.kernel_library()\n"
+            "assert flagged is not None and flagged is not plain\n"
+            "assert flagged.path != plain.path\n"
+            "assert cbuild.kernel_library() is flagged\n"
+            "desc = cbuild.compiler_description()\n"
+            "assert '-fno-omit-frame-pointer' in desc, desc\n"
+            "assert '-fno-omit-frame-pointer' in cbuild.toolchain_info()['cflags']\n"
+            "del os.environ['REPRO_CC_FLAGS']\n"
+            "assert cbuild.kernel_library() is plain\n",
+            REPRO_CC_CACHE=str(tmp_path / "kernels"),
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_flagged_build_stays_bit_identical(self, tmp_path):
+        proc = _run_py(
+            "from repro.engine import cbuild, get_engine\n"
+            "assert cbuild.kernel_library() is not None\n"
+            "from repro.graphs import connected_gnp_graph\n"
+            "g = connected_gnp_graph(60, 0.1, seed=3)\n"
+            "assert get_engine('csr-c').distances(g, 0) == "
+            "get_engine('python').distances(g, 0)\n",
+            REPRO_CC_FLAGS="-fno-omit-frame-pointer -g",
+            REPRO_CC_CACHE=str(tmp_path / "kernels"),
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+@requires_csrc
 class TestParity:
     @given(inst=masked_instance())
     @settings(max_examples=60, **COMMON)

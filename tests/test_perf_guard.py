@@ -94,6 +94,29 @@ class TestSyntheticArtifacts:
         _, failures = guard.check_dir(fresh, committed)
         assert not failures
 
+    def test_speedups_without_floors_fails_distinctly(self, guard, tmp_path):
+        # Healthy-looking ratios with no floors stamped at all: the
+        # artifact must fail (distinctly), not silently pass un-guarded.
+        _write(tmp_path, "BENCH_x", speedups={"a_vs_b": 9.9})
+        lines, failures = guard.check_dir(tmp_path)
+        assert len(failures) == 1
+        assert 'no params["floors"]' in failures[0]
+        assert guard.main([str(tmp_path)]) == 1
+
+    def test_quick_speedups_without_floors_fails_even_with_baseline(
+        self, guard, tmp_path
+    ):
+        # Quick runs never borrow baseline floors, so a quick record
+        # that stamps speedups but no floors is a stamping bug outright.
+        fresh, committed = tmp_path / "fresh", tmp_path / "committed"
+        fresh.mkdir(), committed.mkdir()
+        _write(fresh, "BENCH_x", quick=True, speedups={"a_vs_b": 1.1})
+        _write(committed, "BENCH_x", floors={"a_vs_b": 1.5},
+               speedups={"a_vs_b": 1.8})
+        _, failures = guard.check_dir(fresh, committed)
+        assert len(failures) == 1
+        assert 'no params["floors"]' in failures[0]
+
     def test_empty_directory_reports_and_passes(self, guard, tmp_path):
         lines, failures = guard.check_dir(tmp_path)
         assert not failures

@@ -1,0 +1,6 @@
+"""Repository tooling that lives outside the installable package.
+
+``tools.check`` is the repo-invariant analyzer (``python -m tools.check``)
+and ``tools/perf_guard.py`` the bench-floor regression guard; both are
+stdlib-only so CI jobs can run them before any dependency install.
+"""

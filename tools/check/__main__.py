@@ -1,0 +1,7 @@
+"""``python -m tools.check`` entry point."""
+
+import sys
+
+from tools.check import main
+
+sys.exit(main())

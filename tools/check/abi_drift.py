@@ -1,0 +1,235 @@
+"""CHK006 - ctypes ABI drift: the C exports and the ctypes bindings agree.
+
+``engine/_ckernels.c`` is compiled at runtime and driven through
+``ctypes`` with hand-pinned ``argtypes``/``restype`` in
+``engine/cbuild.py``.  Nothing checks the two against each other: add a
+parameter to a kernel and forget the binding, and every call silently
+passes garbage - the classic ctypes failure mode, usually surfacing as
+a crash (or worse, wrong numbers) far from the edit.
+
+This pass regex-parses the exported declarations (``int64_t
+repro_*(...)`` at file scope, comments stripped) into an arity +
+per-parameter kind signature (``i64`` scalar vs ``ptr``), AST-parses
+the ``KernelLib``-style bindings (``self.X = dll.repro_*`` followed by
+``self.X.argtypes = [...]`` / ``.restype = ...`` with the ``i64, ptr =
+ctypes.c_int64, ctypes.c_void_p`` aliases), and reports any function
+bound but not exported, exported but not bound, or differing in arity,
+parameter kinds, or return kind.
+
+Applies to every ``_ckernels.c`` with a sibling ``cbuild.py`` under the
+scan root, so fixture trees exercise it with a miniature pair.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from tools.check.project import Project
+
+RULE = "CHK006"
+TITLE = "ctypes ABI drift: _ckernels.c exports match cbuild.py bindings"
+
+_COMMENTS = re.compile(r"/\*.*?\*/|//[^\n]*", re.S)
+_EXPORT = re.compile(r"(?m)^\s*(\w+)\s+(repro_\w+)\s*\(([^)]*)\)")
+
+#: ctypes attribute -> kind
+_CTYPES_KINDS = {"c_int64": "i64", "c_void_p": "ptr"}
+
+
+def _parse_c_exports(text: str) -> Dict[str, Tuple[str, List[str], int]]:
+    """``name -> (return kind, [param kinds], lineno)`` from C source."""
+    # Blank comments out (keeping newlines) so linenos survive.
+    def blank(match: re.Match) -> str:
+        return "".join("\n" if ch == "\n" else " " for ch in match.group(0))
+
+    stripped = _COMMENTS.sub(blank, text)
+    exports: Dict[str, Tuple[str, List[str], int]] = {}
+    for match in _EXPORT.finditer(stripped):
+        ret, name, params = match.group(1), match.group(2), match.group(3)
+        lineno = stripped.count("\n", 0, match.start()) + 1
+        kinds: List[str] = []
+        params = params.strip()
+        if params and params != "void":
+            for param in params.split(","):
+                if "*" in param:
+                    kinds.append("ptr")
+                elif re.search(r"\bint64_t\b", param):
+                    kinds.append("i64")
+                else:
+                    kinds.append(f"unknown({param.strip()})")
+        ret_kind = "i64" if ret == "int64_t" else f"unknown({ret})"
+        exports[name] = (ret_kind, kinds, lineno)
+    return exports
+
+
+def _alias_map(tree: ast.AST) -> Dict[str, str]:
+    """Names bound to ctypes type objects -> kind (``i64``/``ptr``)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = node.targets[0]
+        pairs = []
+        if isinstance(targets, ast.Tuple) and isinstance(node.value, ast.Tuple):
+            pairs = list(zip(targets.elts, node.value.elts))
+        else:
+            pairs = [(targets, node.value)]
+        for target, value in pairs:
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Attribute)
+                and value.attr in _CTYPES_KINDS
+            ):
+                aliases[target.id] = _CTYPES_KINDS[value.attr]
+    return aliases
+
+
+def _kind_of(node: ast.AST, aliases: Dict[str, str]) -> str:
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id, f"unknown({node.id})")
+    if isinstance(node, ast.Attribute):
+        return _CTYPES_KINDS.get(node.attr, f"unknown({node.attr})")
+    return "unknown(?)"
+
+
+class _Binding:
+    __slots__ = ("c_name", "lineno", "argtypes", "restype")
+
+    def __init__(self, c_name: str, lineno: int) -> None:
+        self.c_name = c_name
+        self.lineno = lineno
+        self.argtypes: Optional[List[str]] = None
+        self.restype: Optional[str] = None
+
+
+def _parse_bindings(tree: ast.AST) -> Dict[str, _Binding]:
+    """``C export name -> binding`` from ``self.X = dll.repro_*`` code."""
+    aliases = _alias_map(tree)
+    by_attr: Dict[str, _Binding] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        # self.bfs_order = dll.repro_bfs_order
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr.startswith("repro_")
+        ):
+            by_attr[target.attr] = _Binding(node.value.attr, node.lineno)
+        # self.bfs_order.argtypes = [...] / .restype = i64
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in ("argtypes", "restype")
+            and isinstance(target.value, ast.Attribute)
+        ):
+            binding = by_attr.get(target.value.attr)
+            if binding is None:
+                continue
+            if target.attr == "restype":
+                binding.restype = _kind_of(node.value, aliases)
+            elif isinstance(node.value, (ast.List, ast.Tuple)):
+                binding.argtypes = [
+                    _kind_of(elt, aliases) for elt in node.value.elts
+                ]
+    return {b.c_name: b for b in by_attr.values()}
+
+
+def run(project: Project) -> List:
+    from tools.check import Violation
+
+    violations: List[Violation] = []
+    for c_path in sorted(project.root.rglob("_ckernels.c")):
+        build_path = c_path.with_name("cbuild.py")
+        build = next(
+            (m for m in project.modules if m.path == build_path), None
+        )
+        if build is None:
+            continue
+        c_rel = c_path.relative_to(project.repo_dir).as_posix()
+        exports = _parse_c_exports(c_path.read_text(encoding="utf-8"))
+        bindings = _parse_bindings(build.tree)
+
+        for name in sorted(set(bindings) - set(exports)):
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=build.rel,
+                    line=bindings[name].lineno,
+                    symbol=name,
+                    message=f"ctypes binding targets {name} but {c_rel} "
+                    "exports no such function",
+                )
+            )
+        for name in sorted(set(exports) - set(bindings)):
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=c_rel,
+                    line=exports[name][2],
+                    symbol=name,
+                    message=f"{name} is exported by {c_rel} but has no "
+                    f"ctypes binding in {build.rel}",
+                )
+            )
+        for name in sorted(set(exports) & set(bindings)):
+            ret, kinds, _ = exports[name]
+            binding = bindings[name]
+            if binding.argtypes is None:
+                violations.append(
+                    Violation(
+                        rule=RULE,
+                        path=build.rel,
+                        line=binding.lineno,
+                        symbol=name,
+                        message=f"binding for {name} never pins argtypes",
+                    )
+                )
+                continue
+            if len(binding.argtypes) != len(kinds):
+                violations.append(
+                    Violation(
+                        rule=RULE,
+                        path=build.rel,
+                        line=binding.lineno,
+                        symbol=name,
+                        message=(
+                            f"arity drift on {name}: C declares "
+                            f"{len(kinds)} parameter(s), argtypes pins "
+                            f"{len(binding.argtypes)}"
+                        ),
+                    )
+                )
+                continue
+            for pos, (c_kind, py_kind) in enumerate(
+                zip(kinds, binding.argtypes)
+            ):
+                if c_kind != py_kind:
+                    violations.append(
+                        Violation(
+                            rule=RULE,
+                            path=build.rel,
+                            line=binding.lineno,
+                            symbol=f"{name}[{pos}]",
+                            message=(
+                                f"kind drift on {name} parameter {pos}: "
+                                f"C declares {c_kind}, argtypes pins {py_kind}"
+                            ),
+                        )
+                    )
+            if binding.restype is not None and binding.restype != ret:
+                violations.append(
+                    Violation(
+                        rule=RULE,
+                        path=build.rel,
+                        line=binding.lineno,
+                        symbol=f"{name}.restype",
+                        message=(
+                            f"return-kind drift on {name}: C declares {ret}, "
+                            f"restype pins {binding.restype}"
+                        ),
+                    )
+                )
+    return violations

@@ -1,0 +1,112 @@
+"""CHK002 - optional-dependency: ``import numpy`` only behind a guard.
+
+numpy is an optional accelerator (``pip install repro[fast]``); the
+pure-python fallback is a supported configuration with its own CI job.
+An unguarded ``import numpy`` anywhere outside the gated kernel modules
+would make that fallback regress silently - the module imports fine on
+every numpy-equipped dev machine and only explodes on a bare install.
+
+An import is considered guarded when it is lexically inside a ``try``
+whose handlers catch ``ImportError`` / ``ModuleNotFoundError`` (or a
+bare/blanket ``Exception``).  The kernel modules listed in
+:data:`MODULE_ALLOWLIST` are exempt wholesale: the engine registry only
+imports them after the guarded ``import csr_engine`` probe succeeds, so
+a top-level ``import numpy`` there cannot be reached on a bare install.
+Anything else that is intentionally unguarded (e.g. a function that
+only runs when its *argument* already is an ndarray) belongs in the
+allowlist file with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.check.project import Project, enclosing_stack, scope_name
+
+RULE = "CHK002"
+TITLE = "optional-dependency: numpy imports guarded or allowlisted"
+
+#: Scan-root-relative module paths whose registration is already gated
+#: on numpy (imported behind ``try: import csr_engine`` in the registry).
+MODULE_ALLOWLIST = frozenset(
+    {
+        "engine/csr.py",
+        "engine/csr_engine.py",
+        "engine/kernels.py",
+        "engine/weighted_kernels.py",
+        "engine/compiled.py",
+    }
+)
+
+_CATCHING = {"ImportError", "ModuleNotFoundError", "Exception", "BaseException"}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set:
+    if handler.type is None:  # bare except
+        return {"BaseException"}
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = set()
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _guarded(stack) -> bool:
+    for ancestor in stack:
+        if isinstance(ancestor, ast.Try):
+            for handler in ancestor.handlers:
+                if _handler_names(handler) & _CATCHING:
+                    return True
+    return False
+
+
+def _imports_numpy(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        mod = node.module or ""
+        return node.level == 0 and (mod == "numpy" or mod.startswith("numpy."))
+    return False
+
+
+def run(project: Project) -> List:
+    from tools.check import Violation
+
+    violations: List[Violation] = []
+    for module in project.modules:
+        if module.root_rel in MODULE_ALLOWLIST:
+            continue
+        ancestry = None
+        for node in ast.walk(module.tree):
+            if not _imports_numpy(node):
+                continue
+            if ancestry is None:
+                ancestry = enclosing_stack(module.tree)
+            stack = ancestry[id(node)]
+            if _guarded(stack):
+                continue
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=module.rel,
+                    line=node.lineno,
+                    symbol=scope_name(stack),
+                    message=(
+                        "unguarded 'import numpy' (optional dependency) - "
+                        "wrap in try/except ImportError or allowlist with a "
+                        "justification if unreachable on a bare install"
+                    ),
+                )
+            )
+    return violations

@@ -1,0 +1,169 @@
+"""CHK005 - pickle hygiene: memoized caches never ship in pickles.
+
+The PR-5 bug class: ``Graph._csr_cache`` and
+``WeightAssignment._pert_cache`` are rebuildable memoized exports, but
+default pickling shipped them inside every pool payload - tripling
+shard payloads (26KB -> 74KB measured) without changing a single
+result, so nothing failed until someone profiled.  This pass freezes
+the fix in place:
+
+* Any class with a memoized-cache attribute (name matching
+  ``_*_cache``) that *participates in pickling* - it defines
+  ``__getstate__`` / ``__setstate__`` / ``__reduce__`` (directly or via
+  a project base class) - must mention every cache attribute inside
+  those methods (the exclusion: popping it, nulling it, or rebuilding
+  it on load).
+* The known pool-boundary classes (:data:`BOUNDARY_CLASSES`) must
+  define pickle methods at all once they grow a cache attribute -
+  default pickling is exactly how the original bug shipped.
+
+Cache attributes are collected from ``__slots__``, class-level
+(ann-)assignments, ``self.X = ...`` stores, and
+``object.__setattr__(self, "X", ...)`` calls (the frozen-dataclass
+idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set
+
+from tools.check.project import ClassInfo, Project
+
+RULE = "CHK005"
+TITLE = "pickle hygiene: memoized caches excluded from pickled state"
+
+_CACHE_NAME = re.compile(r"^_\w+_cache$")
+_PICKLE_METHODS = ("__getstate__", "__setstate__", "__reduce__", "__reduce_ex__")
+
+#: Classes known to cross the worker-pool pickle boundary; growing a
+#: cache attribute without pickle control here is the PR-5 bug verbatim.
+BOUNDARY_CLASSES = frozenset({"Graph", "WeightAssignment"})
+
+
+def _cache_attrs(node: ast.ClassDef) -> Dict[str, int]:
+    """``name -> first line`` of cache-named attributes of the class."""
+    found: Dict[str, int] = {}
+
+    def note(name: str, lineno: int) -> None:
+        if _CACHE_NAME.match(name):
+            found.setdefault(name, lineno)
+
+    for stmt in node.body:  # class-level declarations
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            note(stmt.target.id, stmt.lineno)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__slots__":
+                        for elt in ast.walk(stmt.value):
+                            if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str
+                            ):
+                                note(elt.value, stmt.lineno)
+                    else:
+                        note(target.id, stmt.lineno)
+    for sub in ast.walk(node):  # self.X stores anywhere in the methods
+        if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name):
+            if sub.value.id == "self" and isinstance(sub.ctx, ast.Store):
+                note(sub.attr, sub.lineno)
+        if isinstance(sub, ast.Call):  # object.__setattr__(self, "X", ...)
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and len(sub.args) >= 2
+                and isinstance(sub.args[1], ast.Constant)
+                and isinstance(sub.args[1].value, str)
+            ):
+                note(sub.args[1].value, sub.lineno)
+    return found
+
+
+def _pickle_methods(node: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [
+        stmt
+        for stmt in node.body
+        if isinstance(stmt, ast.FunctionDef) and stmt.name in _PICKLE_METHODS
+    ]
+
+
+def _mentions(methods: List[ast.FunctionDef], attr: str) -> bool:
+    for method in methods:
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Attribute) and sub.attr == attr:
+                return True
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+                and sub.value == attr
+            ):
+                return True
+    return False
+
+
+def _mro_pickle_methods(
+    info: ClassInfo, index: Dict[str, ClassInfo]
+) -> List[ast.FunctionDef]:
+    """Pickle methods of the class and its resolvable project bases."""
+    methods: List[ast.FunctionDef] = []
+    seen: Set[str] = set()
+    queue = [info]
+    while queue:
+        current = queue.pop(0)
+        if current.node.name in seen:
+            continue
+        seen.add(current.node.name)
+        methods.extend(_pickle_methods(current.node))
+        for base in current.base_names:
+            if base in index and base not in seen:
+                queue.append(index[base])
+    return methods
+
+
+def run(project: Project) -> List:
+    from tools.check import Violation
+
+    violations: List[Violation] = []
+    index = project.classes()
+    for name in sorted(index):
+        info = index[name]
+        caches = _cache_attrs(info.node)
+        if not caches:
+            continue
+        methods = _mro_pickle_methods(info, index)
+        if not methods:
+            if name in BOUNDARY_CLASSES:
+                violations.append(
+                    Violation(
+                        rule=RULE,
+                        path=info.module.rel,
+                        line=info.node.lineno,
+                        symbol=f"{name}",
+                        message=(
+                            f"pool-boundary class {name} has memoized cache "
+                            f"attribute(s) {sorted(caches)} but no __getstate__/"
+                            "__reduce__ - default pickling ships the cache in "
+                            "every payload (the PR-5 bug class)"
+                        ),
+                    )
+                )
+            continue
+        for attr in sorted(caches):
+            if _mentions(methods, attr):
+                continue
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=info.module.rel,
+                    line=caches[attr],
+                    symbol=f"{name}.{attr}",
+                    message=(
+                        f"{name} pickles via custom state but never excludes "
+                        f"or rebuilds memoized cache {attr!r} - it ships in "
+                        "every pool payload"
+                    ),
+                )
+            )
+    return violations

@@ -1,0 +1,166 @@
+"""Shared project model for the analyzer passes.
+
+A :class:`Project` loads every ``.py`` file under one scan root exactly
+once (source + parsed AST) and precomputes the lookups more than one
+pass needs: repo-relative paths (stable allowlist keys), dotted module
+names (relative-import resolution), and a project-wide class index (the
+pickle-hygiene pass climbs base-class chains across files).
+
+Paths are reported relative to the *repo directory* - the nearest
+ancestor of the scan root (including the root itself) that contains a
+``.git`` or a ``README.md`` - so running the checker from anywhere
+yields the same ``src/repro/...`` keys that the committed allowlist
+uses.  Fixture mini-trees under ``tests/fixtures/check/`` simply carry
+their own ``README.md`` when a pass needs stable local paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PyModule:
+    """One parsed source file."""
+
+    path: Path          #: absolute path
+    rel: str            #: repo-relative posix path (allowlist key part)
+    root_rel: str       #: posix path relative to the scan root
+    dotted: str         #: dotted module name rooted at the scan root
+    source: str
+    tree: ast.Module
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """A class definition plus where it lives (for cross-file lookups)."""
+
+    module: PyModule
+    node: ast.ClassDef
+    #: simple names of the direct bases (``Graph`` for ``Graph`` and for
+    #: ``graph.Graph`` alike - resolution is by simple name).
+    base_names: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _repo_dir(root: Path) -> Path:
+    for candidate in (root, *root.parents):
+        if (candidate / ".git").exists() or (candidate / "README.md").is_file():
+            return candidate
+    return root
+
+
+def _dotted_name(root: Path, path: Path) -> str:
+    parts = list(path.relative_to(root).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    # The scan root itself acts as the package anchor: for a root of
+    # ``src/repro`` the files resolve as ``repro.<subpath>``.
+    return ".".join([root.name, *parts]) if parts else root.name
+
+
+class Project:
+    """Parsed view of every python module under ``root``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root.resolve()
+        self.repo_dir = _repo_dir(self.root)
+        self.modules: List[PyModule] = []
+        self.broken: List[Tuple[str, str]] = []  #: (rel, parse error)
+        for path in sorted(self.root.rglob("*.py")):
+            rel = path.relative_to(self.repo_dir).as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:  # surfaced as a violation by main()
+                self.broken.append((rel, str(exc)))
+                continue
+            self.modules.append(
+                PyModule(
+                    path=path,
+                    rel=rel,
+                    root_rel=path.relative_to(self.root).as_posix(),
+                    dotted=_dotted_name(self.root, path),
+                    source=source,
+                    tree=tree,
+                )
+            )
+        self._classes: Optional[Dict[str, ClassInfo]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def readme_path(self) -> Optional[Path]:
+        candidate = self.repo_dir / "README.md"
+        return candidate if candidate.is_file() else None
+
+    def classes(self) -> Dict[str, ClassInfo]:
+        """Project-wide ``simple name -> ClassInfo`` index (last wins;
+        class names are unique in practice and fixtures keep them so)."""
+        if self._classes is None:
+            index: Dict[str, ClassInfo] = {}
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.ClassDef):
+                        bases = tuple(
+                            base.id
+                            if isinstance(base, ast.Name)
+                            else base.attr
+                            for base in node.bases
+                            if isinstance(base, (ast.Name, ast.Attribute))
+                        )
+                        index[node.name] = ClassInfo(module, node, bases)
+            self._classes = index
+        return self._classes
+
+
+def resolve_import(module: PyModule, node: ast.AST) -> List[Tuple[str, int]]:
+    """Absolute dotted names imported by an Import/ImportFrom node.
+
+    ``from pkg.sub import name`` yields both ``pkg.sub`` and
+    ``pkg.sub.name`` (the bound name may itself be the submodule the
+    caller prohibits); relative imports resolve against the module's
+    package.  Returns ``[(dotted, lineno), ...]``.
+    """
+    out: List[Tuple[str, int]] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            out.append((alias.name, node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:
+            pkg_parts = module.dotted.split(".")
+            # level 1 = the module's own package, each extra level one up.
+            anchor = pkg_parts[: len(pkg_parts) - node.level]
+            base = ".".join(anchor + ([node.module] if node.module else []))
+        else:
+            base = node.module or ""
+        if base:
+            out.append((base, node.lineno))
+        for alias in node.names:
+            if base and alias.name != "*":
+                out.append((f"{base}.{alias.name}", node.lineno))
+    return out
+
+
+def enclosing_stack(tree: ast.Module) -> Dict[int, Tuple[ast.AST, ...]]:
+    """Map ``id(node) -> tuple of ancestor nodes`` for a whole module."""
+    ancestry: Dict[int, Tuple[ast.AST, ...]] = {}
+
+    def visit(node: ast.AST, stack: Tuple[ast.AST, ...]) -> None:
+        ancestry[id(node)] = stack
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack + (node,))
+
+    visit(tree, ())
+    return ancestry
+
+
+def scope_name(stack: Tuple[ast.AST, ...]) -> str:
+    """Dotted function/class scope of an ancestry stack (allowlist key)."""
+    parts = [
+        node.name
+        for node in stack
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    return ".".join(parts) if parts else "<module>"

@@ -1,0 +1,119 @@
+"""CHK004 - shm lifecycle: every created segment has a registered owner.
+
+``multiprocessing.shared_memory`` segments outlive the process unless
+someone unlinks them: a creation site with no cleanup registration
+leaks ``/dev/shm`` space until reboot (the lifecycle tests catch the
+dynamic cases; this pass catches the sites those tests never reach).
+
+Rule: a ``SharedMemory(create=True, ...)`` call must be paired, within
+the same enclosing function (or module) scope, with one of
+
+* a ``weakref.finalize(...)`` registration,
+* an ``unlink`` call (directly or via a helper whose name ends in
+  ``unlink``), or
+* a store into an owned-segment registry: a subscript assignment into a
+  module-level ALL_CAPS name (the repo's ``_OWNED`` dict, whose
+  ``atexit`` hook unlinks every entry).
+
+Creation-free attaches (``SharedMemory(name=...)``) are not creation
+sites and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from tools.check.project import Project, enclosing_stack, scope_name
+
+RULE = "CHK004"
+TITLE = "shm lifecycle: SharedMemory(create=True) paired with cleanup"
+
+_REGISTRY = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+
+def _is_create_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else ""
+    )
+    if name != "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if (
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        ):
+            return True
+    return False
+
+
+def _scope_node(stack, tree: ast.Module) -> ast.AST:
+    for ancestor in reversed(stack):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return tree
+
+
+def _scope_registers_cleanup(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if name == "finalize" or name.endswith("unlink"):
+                return True
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and _REGISTRY.match(target.value.id)
+                ):
+                    return True
+    return False
+
+
+def run(project: Project) -> List:
+    from tools.check import Violation
+
+    violations: List[Violation] = []
+    for module in project.modules:
+        ancestry = None
+        for node in ast.walk(module.tree):
+            if not _is_create_call(node):
+                continue
+            if ancestry is None:
+                ancestry = enclosing_stack(module.tree)
+            stack = ancestry[id(node)]
+            scope = _scope_node(stack, module.tree)
+            if _scope_registers_cleanup(scope):
+                continue
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=module.rel,
+                    line=node.lineno,
+                    symbol=scope_name(stack),
+                    message=(
+                        "SharedMemory(create=True) with no weakref.finalize/"
+                        "unlink/owned-registry registration in the same scope "
+                        "- the segment leaks /dev/shm space on every path "
+                        "that drops it"
+                    ),
+                )
+            )
+    return violations

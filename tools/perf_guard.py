@@ -20,8 +20,11 @@ stamp themselves - tiny CI instances do not prove the real margins.
 
 Artifacts without stamped speedups (older records, experiments that are
 not ratio benchmarks) are listed as skipped, never failed: the guard
-grows with the benchmarks instead of blocking them.  Exit status 1 on
-any floor violation.
+grows with the benchmarks instead of blocking them.  Artifacts that
+*do* stamp speedups but no floors at all (and get none from the
+baseline) fail with a distinct message - un-floored ratios would
+escape regression checking forever.  Exit status 1 on any floor
+violation.
 """
 
 from __future__ import annotations
@@ -61,6 +64,16 @@ def check_artifact(
             (baseline.get("params") or {}).get("floors") or {}
         ).items():
             floors.setdefault(key, floor)
+    if not floors:
+        # Speedups with no floors at all (and none to borrow from a
+        # baseline) is a stamping bug, not an older record: the measured
+        # ratios would escape regression checking forever while the
+        # guard happily reports success.
+        message = (
+            f"{eid}: speedups stamped but no params[\"floors\"] - "
+            "the benchmark must stamp its acceptance floors FAIL"
+        )
+        return [message], [message]
     lines: List[str] = []
     failures: List[str] = []
     mode = "quick" if quick else "full"
